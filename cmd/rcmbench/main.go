@@ -1,0 +1,172 @@
+// Command rcmbench regenerates every table and figure of the paper's
+// evaluation on the synthetic analog suite. Experiments are selected by id:
+//
+//	rcmbench -exp fig1               CG + block Jacobi, natural vs RCM (Fig. 1)
+//	rcmbench -exp fig3               matrix suite table (Fig. 3)
+//	rcmbench -exp table2             shared-memory vs distributed (Table II)
+//	rcmbench -exp fig4               strong-scaling runtime breakdown (Fig. 4)
+//	rcmbench -exp fig5               SpMSpV computation vs communication (Fig. 5)
+//	rcmbench -exp fig6               flat-MPI breakdown, ldoor (Fig. 6)
+//	rcmbench -exp ablation-sort      SORTPERM strategies (§VI future work)
+//	rcmbench -exp ablation-semiring  deterministic vs randomized tie-breaking
+//	rcmbench -exp ablation-hybrid    threads/process sweep at fixed cores
+//	rcmbench -exp ablation-format    CSC vs CSR-scan local kernel (§IV-A)
+//	rcmbench -exp quality            ordering quality vs concurrency (§I claim)
+//	rcmbench -exp sizesense          scaling limit vs matrix size (§V-D claim)
+//	rcmbench -exp sloan              RCM vs Sloan envelope quality (extension)
+//	rcmbench -exp ablation-dcsc      CSC vs DCSC block storage (hypersparsity)
+//	rcmbench -exp spy                before/after ASCII spy plots (Fig. 3 plots)
+//	rcmbench -exp all                everything above
+//
+// Times reported for distributed runs are modelled BSP seconds under the
+// machine model (see internal/tally); shared-memory times are wall-clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/tally"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|quality|sizesense|sloan|spy|all)")
+		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
+		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
+		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
+		procs    = flag.Int("procs", 16, "process count for the sort ablation")
+		alpha    = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
+		beta     = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
+		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5 only)")
+	)
+	flag.Parse()
+
+	model := tally.Edison()
+	if *alpha > 0 {
+		model.AlphaNs = *alpha
+	}
+	if *beta > 0 {
+		model.BetaNsPerWord = *beta
+	}
+	cfg := bench.Config{
+		Scale:    *scale,
+		MaxCores: *maxCores,
+		Model:    model,
+		Out:      os.Stdout,
+	}
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	run := func(id string) bool { return *exp == id || *exp == "all" }
+	csvOut := func(write func(w *os.File) error) {
+		if *csvPath == "" {
+			return
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	ran := false
+	if run("fig1") {
+		res := bench.RunFig1(cfg)
+		if *exp == "fig1" {
+			csvOut(func(w *os.File) error { return bench.WriteFig1CSV(w, res) })
+		}
+		fmt.Println()
+		ran = true
+	}
+	if run("fig3") {
+		bench.RunFig3(cfg)
+		fmt.Println()
+		ran = true
+	}
+	if run("table2") {
+		bench.RunTable2(cfg)
+		ran = true
+	}
+	if run("fig4") || run("fig5") {
+		series := bench.RunScaling(cfg, bench.HybridConfigs())
+		if run("fig4") {
+			bench.PrintFig4(cfg, series)
+		}
+		if run("fig5") {
+			bench.PrintFig5(cfg, series)
+		}
+		if *exp == "fig4" || *exp == "fig5" {
+			csvOut(func(w *os.File) error { return bench.WriteScalingCSV(w, series) })
+		}
+		ran = true
+	}
+	if run("fig6") {
+		bench.RunFig6(cfg)
+		ran = true
+	}
+	if run("ablation-sort") {
+		bench.RunAblationSort(cfg, *procs)
+		ran = true
+	}
+	if run("ablation-semiring") {
+		bench.RunAblationSemiring(cfg, 3)
+		ran = true
+	}
+	if run("ablation-hybrid") {
+		bench.RunAblationHybrid(cfg)
+		ran = true
+	}
+	if run("ablation-format") {
+		bench.RunAblationLocalFormat(cfg)
+		ran = true
+	}
+	if run("quality") {
+		bench.RunQuality(cfg, nil)
+		ran = true
+	}
+	if run("sizesense") {
+		bench.RunSizeSensitivity(cfg, "ldoor", nil)
+		ran = true
+	}
+	if run("sloan") {
+		bench.RunSloanComparison(cfg)
+		ran = true
+	}
+	if run("ablation-dcsc") {
+		bench.RunAblationDCSC(cfg)
+		ran = true
+	}
+	if run("spy") {
+		names := cfg.Matrices
+		if len(names) == 0 {
+			names = []string{"ldoor"}
+		}
+		for _, n := range names {
+			before, after, err := bench.SpyPair(cfg, n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("%s before RCM:\n%s\n%s after RCM:\n%s\n", n, before, n, after)
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rcmbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

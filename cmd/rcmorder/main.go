@@ -1,0 +1,107 @@
+// Command rcmorder computes a Reverse Cuthill-McKee ordering of a Matrix
+// Market file and reports the bandwidth and profile before and after.
+//
+//	rcmorder -in matrix.mtx [-method seq|shared|algebraic|dist] [-procs 16]
+//	         [-threads 2] [-out permuted.mtx] [-perm order.perm] [-spy]
+//
+// Non-symmetric inputs are symmetrized (pattern of A ∪ Aᵀ) before ordering,
+// like every practical RCM implementation. The distributed method runs on
+// the simulated bulk-synchronous runtime and also prints its modelled phase
+// breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mmio"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input Matrix Market file (required)")
+		method  = flag.String("method", "seq", "ordering implementation: seq|shared|algebraic|dist")
+		procs   = flag.Int("procs", 16, "simulated processes for -method dist (perfect square)")
+		threads = flag.Int("threads", 2, "threads for -method shared / model threads for dist")
+		outPath = flag.String("out", "", "write the permuted matrix here (Matrix Market)")
+		permOut = flag.String("perm", "", "write the permutation here (1-based, one index per line)")
+		spy     = flag.Bool("spy", false, "print before/after ASCII spy plots")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rcmorder: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, hdr, err := mmio.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("read %s: n=%d nnz=%d (%s %s)\n", *in, a.N, a.NNZ(), hdr.Field, hdr.Symmetry)
+	if !a.IsSymmetricPattern() {
+		fmt.Println("pattern not symmetric; ordering the symmetrized pattern A ∪ Aᵀ")
+		a = a.Symmetrize()
+	}
+
+	start := time.Now()
+	var ord *core.Ordering
+	switch *method {
+	case "seq":
+		ord = core.Sequential(a)
+	case "shared":
+		ord = core.Shared(a, *threads)
+	case "algebraic":
+		ord = core.Algebraic(a)
+	case "dist":
+		d := core.Distributed(a, core.DistOptions{
+			Procs:   *procs,
+			Model:   tally.Edison().WithThreads(*threads),
+			Options: core.Options{Start: -1},
+		})
+		ord = &d.Ordering
+		fmt.Printf("modelled distributed time: %.4f s across %d procs × %d threads\n",
+			tally.Seconds(d.Breakdown.TotalNs()), d.Procs, d.Threads)
+		for p := tally.Phase(0); p < tally.NumPhases; p++ {
+			fmt.Printf("  %-18s %.4f s\n", p, tally.Seconds(d.Breakdown.PhaseNs(p)))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rcmorder: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	if !spmat.IsPerm(ord.Perm) {
+		fmt.Fprintln(os.Stderr, "rcmorder: internal error: invalid permutation")
+		os.Exit(1)
+	}
+	p := a.Permute(ord.Perm)
+	fmt.Printf("method=%s wall=%.3fs components=%d pseudo-diameter=%d\n",
+		*method, elapsed.Seconds(), ord.Components, ord.PseudoDiameter)
+	fmt.Printf("bandwidth: %d -> %d\n", a.Bandwidth(), p.Bandwidth())
+	fmt.Printf("profile:   %d -> %d\n", a.Profile(), p.Profile())
+
+	if *spy {
+		fmt.Printf("before:\n%s\nafter:\n%s", a.SpyString(48, 24), p.SpyString(48, 24))
+	}
+	if *outPath != "" {
+		if err := mmio.WriteFile(*outPath, p, p.IsSymmetricPattern(), "RCM-permuted by rcmorder"); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *permOut != "" {
+		if err := mmio.WritePerm(*permOut, ord.Perm); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *permOut)
+	}
+}

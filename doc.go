@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "The Reverse
+// Cuthill-McKee Algorithm in Distributed-Memory" (Azad, Jacquelin, Buluç,
+// Ng — IPDPS 2017, arXiv:1610.08128).
+//
+// The library lives under internal/: package core holds the four RCM
+// implementations (sequential, matrix-algebraic, shared-memory parallel,
+// and the paper's distributed algorithm); packages comm, grid, distmat,
+// spvec, semiring and tally form the simulated distributed-memory substrate
+// that replaces MPI+CombBLAS; graphgen generates the synthetic analogs of
+// the paper's matrix suite; cg provides the CG + block-Jacobi solver of
+// Fig. 1; bench regenerates every table and figure.
+//
+// The benchmarks in this package (bench_test.go) wrap one experiment each:
+// go test -bench=. runs the full evaluation at a reduced scale, and
+// cmd/rcmbench runs it at any scale from the command line. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

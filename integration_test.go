@@ -1,0 +1,139 @@
+package repro
+
+// End-to-end integration tests across package boundaries: the full
+// pipelines a user of the library would run, at miniature scales.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/mmio"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+// TestPipelineOrderThenSolve is the paper's §I motivation end to end: a
+// distributed matrix is ordered in place and the reordered system solves
+// faster and with less communication.
+func TestPipelineOrderThenSolve(t *testing.T) {
+	a := graphgen.Thermal2(8)
+	ord := core.Distributed(a, core.DistOptions{Procs: 9, Model: tally.Edison().WithThreads(6)})
+	if !spmat.IsPerm(ord.Perm) {
+		t.Fatal("invalid permutation")
+	}
+	rcm := a.Permute(ord.Perm)
+	if rcm.Bandwidth() >= a.Bandwidth()/4 {
+		t.Fatalf("bandwidth %d -> %d: weak reduction", a.Bandwidth(), rcm.Bandwidth())
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	nat, err := cg.DistributedPCG(a, b, 9, nil, 1e-6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cg.DistributedPCG(rcm, b, 9, nil, 1e-6, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nat.Converged || !opt.Converged {
+		t.Fatalf("convergence: nat=%v rcm=%v", nat.Converged, opt.Converged)
+	}
+	if opt.Breakdown.Words >= nat.Breakdown.Words {
+		t.Errorf("RCM halo words %d not below natural %d", opt.Breakdown.Words, nat.Breakdown.Words)
+	}
+	if opt.Iterations > nat.Iterations {
+		t.Errorf("RCM iterations %d above natural %d", opt.Iterations, nat.Iterations)
+	}
+}
+
+// TestPipelineFileRoundTrip exercises generate → write → read → order →
+// permute → write → read.
+func TestPipelineFileRoundTrip(t *testing.T) {
+	a := graphgen.SuiteByName("audikw_1").Build(8)
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, a, true, "integration"); err != nil {
+		t.Fatal(err)
+	}
+	read, _, err := mmio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.NNZ() != a.NNZ() {
+		t.Fatalf("nnz %d vs %d", read.NNZ(), a.NNZ())
+	}
+	ord := core.Shared(read, 2)
+	p := read.Permute(ord.Perm)
+	var buf2 bytes.Buffer
+	if err := mmio.Write(&buf2, p, true); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := mmio.Read(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Bandwidth() != p.Bandwidth() || again.Profile() != p.Profile() {
+		t.Error("metrics changed across the file round trip")
+	}
+}
+
+// TestPipelineAllImplementationsOnSuite runs the four implementations over
+// every suite analog at miniature scale and checks the determinism
+// contract matrix-wide.
+func TestPipelineAllImplementationsOnSuite(t *testing.T) {
+	for _, e := range graphgen.Suite() {
+		a := e.Build(10)
+		want := core.Sequential(a)
+		if !spmat.IsPerm(want.Perm) {
+			t.Fatalf("%s: invalid sequential permutation", e.Name)
+		}
+		if got := core.Algebraic(a); !reflect.DeepEqual(want.Perm, got.Perm) {
+			t.Errorf("%s: algebraic differs", e.Name)
+		}
+		if got := core.Shared(a, 2); !reflect.DeepEqual(want.Perm, got.Perm) {
+			t.Errorf("%s: shared differs", e.Name)
+		}
+		if got := core.Distributed(a, core.DistOptions{Procs: 4}); !reflect.DeepEqual(want.Perm, got.Perm) {
+			t.Errorf("%s: distributed differs", e.Name)
+		}
+	}
+}
+
+// TestPipelineSloanAndRCMBothImprove checks the two heuristics side by side
+// on a mesh, through the public metrics.
+func TestPipelineSloanAndRCMBothImprove(t *testing.T) {
+	a, _ := graphgen.Scramble(graphgen.Grid3D(7, 5, 4, 1, true), 77)
+	before := a.Profile()
+	rcm := a.Permute(core.Sequential(a).Perm)
+	sloan := a.Permute(core.Sloan(a).Perm)
+	if rcm.Profile() >= before || sloan.Profile() >= before {
+		t.Errorf("profiles: before=%d rcm=%d sloan=%d", before, rcm.Profile(), sloan.Profile())
+	}
+	if rcm.Wavefront().RMS <= 0 || sloan.Wavefront().RMS <= 0 {
+		t.Error("wavefront stats missing")
+	}
+}
+
+// TestPipelineGatherVsInPlace quantifies the §V-C comparison: ordering the
+// distributed matrix in place versus gathering it to one node first.
+func TestPipelineGatherVsInPlace(t *testing.T) {
+	a := graphgen.SuiteByName("nlpkkt240").Build(6)
+	ord := core.Distributed(a, core.DistOptions{Procs: 16, Model: tally.Edison().WithThreads(6)})
+	inPlace := ord.Breakdown.TotalNs()
+	// Gathering nnz index words from 16 processes to one:
+	m := tally.Edison()
+	words := int64(a.NNZ()) * 15 / 16
+	gather := m.P2PCost(words) + 15*m.AlphaNs
+	if inPlace <= 0 || gather <= 0 {
+		t.Fatal("degenerate costs")
+	}
+	// The point of the comparison is that gathering is not free; at the
+	// paper's scale it costs 3x the in-place ordering. At miniature scale
+	// we only assert both costs are meaningful and reported.
+	t.Logf("in-place %.4fs vs gather %.4fs", tally.Seconds(inPlace), tally.Seconds(gather))
+}

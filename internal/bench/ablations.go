@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/tally"
+)
+
+// SortAblationRow compares the three frontier-labeling strategies on one
+// matrix: the paper's full distributed sort against its §VI future-work
+// alternatives (local-only sort, no sort).
+type SortAblationRow struct {
+	Name      string
+	Procs     int
+	BWBefore  int
+	BWFull    int
+	BWLocal   int
+	BWNone    int
+	SecsFull  float64
+	SecsLocal float64
+	SecsNone  float64
+	SortFull  float64 // seconds inside SORTPERM, full mode
+	SortLocal float64
+	SortNone  float64
+}
+
+// RunAblationSort regenerates the sorting ablation: ordering time and
+// quality under SortFull / SortLocal / SortNone at a fixed process count.
+func RunAblationSort(cfg Config, procs int) []SortAblationRow {
+	if procs < 1 {
+		procs = 16
+	}
+	var rows []SortAblationRow
+	for _, e := range graphgen.Suite() {
+		if !cfg.wants(e.Name) {
+			continue
+		}
+		a := e.Build(cfg.scale())
+		row := SortAblationRow{Name: e.Name, Procs: procs, BWBefore: a.Bandwidth()}
+		cc := CoreConfig{Cores: procs * 6, Procs: procs, Threads: 6}
+		for _, mode := range []core.SortMode{core.SortFull, core.SortLocal, core.SortNone} {
+			model := cfg.model().WithThreads(cc.Threads)
+			ord := core.Distributed(a, core.DistOptions{Procs: cc.Procs, Model: model, SortMode: mode, Options: core.Options{Start: -1}})
+			bw := a.Permute(ord.Perm).Bandwidth()
+			total := secs(ord.Breakdown.TotalNs() - ord.Breakdown.PhaseNs(tally.Setup))
+			sortSecs := secs(ord.Breakdown.PhaseNs(tally.OrderingSort))
+			switch mode {
+			case core.SortFull:
+				row.BWFull, row.SecsFull, row.SortFull = bw, total, sortSecs
+			case core.SortLocal:
+				row.BWLocal, row.SecsLocal, row.SortLocal = bw, total, sortSecs
+			case core.SortNone:
+				row.BWNone, row.SecsNone, row.SortNone = bw, total, sortSecs
+			}
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: SORTPERM strategies at %d processes (bandwidth / modelled seconds)\n", procs)
+	fmt.Fprintf(w, "%-17s %9s | %9s %8s | %9s %8s | %9s %8s\n", "name", "bw-before", "bw-full", "s-full", "bw-local", "s-local", "bw-none", "s-none")
+	hr(w, 100)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %9d | %9d %8.4f | %9d %8.4f | %9d %8.4f\n",
+			r.Name, r.BWBefore, r.BWFull, r.SecsFull, r.BWLocal, r.SecsLocal, r.BWNone, r.SecsNone)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
+// SemiringAblationRow measures the effect of the deterministic
+// (select2nd, min) parent selection versus nondeterministic parent picks,
+// emulated by randomizing vertex identities: quality spread across seeds.
+type SemiringAblationRow struct {
+	Name string
+	// BWDeterministic is the bandwidth from the deterministic contract.
+	BWDeterministic int
+	// BWSpread are bandwidths under re-randomized tie-breaking
+	// identities, the practical effect of a nondeterministic semiring.
+	BWSpread []int
+}
+
+// RunAblationSemiring quantifies how much ordering quality depends on the
+// deterministic parent/tie-breaking rule the semiring enforces.
+func RunAblationSemiring(cfg Config, seeds int) []SemiringAblationRow {
+	if seeds < 1 {
+		seeds = 3
+	}
+	var rows []SemiringAblationRow
+	for _, e := range graphgen.Suite() {
+		if !cfg.wants(e.Name) {
+			continue
+		}
+		a := e.Build(cfg.scale())
+		row := SemiringAblationRow{Name: e.Name}
+		row.BWDeterministic = a.Permute(core.Sequential(a).Perm).Bandwidth()
+		rng := rand.New(rand.NewSource(17))
+		for s := 0; s < seeds; s++ {
+			q := rng.Perm(a.N)
+			shuffled := a.Permute(q)
+			perm := core.Sequential(shuffled).Perm
+			row.BWSpread = append(row.BWSpread, shuffled.Permute(perm).Bandwidth())
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: ordering-quality spread under randomized tie-breaking identities\n")
+	fmt.Fprintf(w, "%-17s %10s %s\n", "name", "bw-det", "bw across seeds")
+	hr(w, 60)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %10d %v\n", r.Name, r.BWDeterministic, r.BWSpread)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
+// HybridAblationRow is one threads-per-process point at a fixed core count.
+type HybridAblationRow struct {
+	Threads int
+	Procs   int
+	Total   float64
+	Comm    float64
+}
+
+// RunAblationHybrid sweeps threads-per-process at a (near-)fixed core
+// count on the ldoor analog, generalizing the Fig. 6 flat-vs-hybrid
+// comparison: more processes at equal cores means higher collective
+// latencies, the reason the paper settled on six threads per process.
+func RunAblationHybrid(cfg Config) []HybridAblationRow {
+	e := graphgen.SuiteByName("ldoor")
+	a := e.Build(cfg.scale())
+	// ~144 cores in every configuration, square process grids.
+	pts := []CoreConfig{
+		{Cores: 144, Procs: 144, Threads: 1},
+		{Cores: 144, Procs: 36, Threads: 4},
+		{Cores: 144, Procs: 16, Threads: 9},
+		{Cores: 144, Procs: 9, Threads: 16},
+		{Cores: 144, Procs: 4, Threads: 36},
+		{Cores: 144, Procs: 1, Threads: 144},
+	}
+	var rows []HybridAblationRow
+	for _, cc := range cfg.filterConfigs(pts) {
+		pt := runScalePoint(a, cc, cfg.model(), core.SortFull)
+		rows = append(rows, HybridAblationRow{
+			Threads: cc.Threads, Procs: cc.Procs,
+			Total: pt.Total,
+			Comm:  secs(pt.Breakdown.TotalCommNs()),
+		})
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: threads/process at 144 cores, ldoor analog (modelled seconds)\n")
+	fmt.Fprintf(w, "%8s %8s %11s %11s\n", "threads", "procs", "total", "comm")
+	hr(w, 44)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d %11.4f %11.4f\n", r.Threads, r.Procs, r.Total, r.Comm)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
+// QualityRow records the ordering quality of one matrix across process
+// counts — the §I claim that quality is insensitive to concurrency. Under
+// the deterministic contract the bandwidths are identical.
+type QualityRow struct {
+	Name       string
+	Procs      []int
+	Bandwidths []int
+	Identical  bool
+}
+
+// RunQuality verifies (and reports) quality-vs-concurrency across the suite.
+func RunQuality(cfg Config, procs []int) []QualityRow {
+	if len(procs) == 0 {
+		procs = []int{1, 4, 16, 64}
+	}
+	var rows []QualityRow
+	for _, e := range graphgen.Suite() {
+		if !cfg.wants(e.Name) {
+			continue
+		}
+		a := e.Build(cfg.scale())
+		row := QualityRow{Name: e.Name, Procs: procs, Identical: true}
+		var perms [][]int
+		for _, p := range procs {
+			ord := core.Distributed(a, core.DistOptions{Procs: p, Model: cfg.model(), Options: core.Options{Start: -1}})
+			row.Bandwidths = append(row.Bandwidths, a.Permute(ord.Perm).Bandwidth())
+			perms = append(perms, ord.Perm)
+		}
+		for i := 1; i < len(perms); i++ {
+			if !reflect.DeepEqual(perms[0], perms[i]) {
+				row.Identical = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Quality vs concurrency (bandwidth at p = %v)\n", procs)
+	fmt.Fprintf(w, "%-17s %v identical-perms\n", "name", "bandwidths")
+	hr(w, 60)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %v %v\n", r.Name, r.Bandwidths, r.Identical)
+	}
+	fmt.Fprintln(w)
+	return rows
+}

@@ -1,0 +1,130 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§V), each emitting the same rows/series the
+// paper reports. The runners return structured results (so the root-level
+// Go benchmarks and the tests can assert on them) and render human-readable
+// tables to a writer.
+//
+// Absolute times are modelled BSP seconds from the machine model in package
+// tally; only the shape (who wins, by what factor, where curves cross) is
+// comparable to the paper. EXPERIMENTS.md records both sides.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tally"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale divides the linear dimensions of the analog matrices;
+	// 1 reproduces the full analogs from DESIGN.md, larger values give
+	// faster runs. Default (0) means 2.
+	Scale int
+	// MaxCores skips scaling configurations above this core count
+	// (0 = run everything the experiment defines).
+	MaxCores int
+	// Model is the base machine model (threads overridden per
+	// configuration); nil selects tally.Edison().
+	Model *tally.Model
+	// Matrices restricts suite experiments to the named matrices
+	// (nil = all nine).
+	Matrices []string
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 2
+	}
+	return c.Scale
+}
+
+func (c Config) model() *tally.Model {
+	if c.Model == nil {
+		return tally.Edison()
+	}
+	return c.Model
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) wants(name string) bool {
+	if len(c.Matrices) == 0 {
+		return true
+	}
+	for _, m := range c.Matrices {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreConfig is one point on the strong-scaling x-axis: Cores = Procs ×
+// Threads, matching the paper's hybrid runs (six threads per MPI process;
+// §V-D) and flat-MPI runs (one thread per process; Fig. 6).
+type CoreConfig struct {
+	Cores, Procs, Threads int
+}
+
+// HybridConfigs returns the paper's Fig. 4/5 x-axis:
+// 1, 6, 24, 54, 216, 1014, 4056 cores with t=6 beyond one core
+// (process grids 1×1, 1×1, 2×2, 3×3, 6×6, 13×13, 26×26).
+func HybridConfigs() []CoreConfig {
+	return []CoreConfig{
+		{Cores: 1, Procs: 1, Threads: 1},
+		{Cores: 6, Procs: 1, Threads: 6},
+		{Cores: 24, Procs: 4, Threads: 6},
+		{Cores: 54, Procs: 9, Threads: 6},
+		{Cores: 216, Procs: 36, Threads: 6},
+		{Cores: 1014, Procs: 169, Threads: 6},
+		{Cores: 4056, Procs: 676, Threads: 6},
+	}
+}
+
+// FlatConfigs returns the Fig. 6 flat-MPI x-axis: 1–4096 cores, one thread
+// per process, square grids.
+func FlatConfigs() []CoreConfig {
+	return []CoreConfig{
+		{Cores: 1, Procs: 1, Threads: 1},
+		{Cores: 4, Procs: 4, Threads: 1},
+		{Cores: 16, Procs: 16, Threads: 1},
+		{Cores: 64, Procs: 64, Threads: 1},
+		{Cores: 256, Procs: 256, Threads: 1},
+		{Cores: 1024, Procs: 1024, Threads: 1},
+		{Cores: 4096, Procs: 4096, Threads: 1},
+	}
+}
+
+func (c Config) filterConfigs(in []CoreConfig) []CoreConfig {
+	if c.MaxCores <= 0 {
+		return in
+	}
+	var out []CoreConfig
+	for _, cc := range in {
+		if cc.Cores <= c.MaxCores {
+			out = append(out, cc)
+		}
+	}
+	if len(out) == 0 {
+		out = in[:1]
+	}
+	return out
+}
+
+func secs(ns float64) float64 { return tally.Seconds(ns) }
+
+func hr(w io.Writer, width int) {
+	for i := 0; i < width; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

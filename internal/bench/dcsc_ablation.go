@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/distmat"
+	"repro/internal/graphgen"
+	"repro/internal/grid"
+)
+
+// DCSCRow compares local-block storage footprints at one grid size.
+type DCSCRow struct {
+	Procs int
+	// MaxBlockNNZ is the largest local block (entries).
+	MaxBlockNNZ int
+	// CSCWords and DCSCWords are the summed storage footprints of all
+	// local blocks in 8-byte words.
+	CSCWords  int64
+	DCSCWords int64
+}
+
+// RunAblationDCSC quantifies the hypersparsity effect that motivates DCSC:
+// as the process grid grows, each block's nonzeros shrink like nnz/p while
+// a CSC column-pointer array shrinks only like n/√p, so CSC's footprint per
+// entry explodes. DCSC stays proportional to the entries — it loses a
+// little at low process counts (extra column-id array) and wins massively
+// once 2·nnz/n < √p. The sweep uses the 5-point thermal2 analog, whose low
+// nnz/row reaches the hypersparse regime within the paper's core counts.
+func RunAblationDCSC(cfg Config) []DCSCRow {
+	a := graphgen.Thermal2(cfg.scale())
+	var rows []DCSCRow
+	for _, p := range []int{1, 16, 64, 256, 1024} {
+		if cfg.MaxCores > 0 && p > cfg.MaxCores {
+			continue
+		}
+		row := DCSCRow{Procs: p}
+		type acc struct {
+			nnz       int
+			csc, dcsc int64
+		}
+		ch := make(chan acc, p)
+		comm.Run(p, nil, func(c *comm.Comm) {
+			d := grid.NewDist(grid.Square(c), a.N)
+			m := distmat.NewMat(d, a)
+			dc := m.DCSCBlock()
+			ch <- acc{nnz: m.Block.NNZ(), csc: m.Block.MemWords(), dcsc: dc.MemWords()}
+		})
+		close(ch)
+		for v := range ch {
+			if v.nnz > row.MaxBlockNNZ {
+				row.MaxBlockNNZ = v.nnz
+			}
+			row.CSCWords += v.csc
+			row.DCSCWords += v.dcsc
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: local block storage, CSC vs DCSC (thermal2 analog, n=%d nnz=%d)\n", a.N, a.NNZ())
+	fmt.Fprintf(w, "%7s %13s %13s %13s %9s\n", "procs", "max blk nnz", "csc words", "dcsc words", "csc/dcsc")
+	hr(w, 60)
+	for _, r := range rows {
+		ratio := 0.0
+		if r.DCSCWords > 0 {
+			ratio = float64(r.CSCWords) / float64(r.DCSCWords)
+		}
+		fmt.Fprintf(w, "%7d %13d %13d %13d %9.2f\n", r.Procs, r.MaxBlockNNZ, r.CSCWords, r.DCSCWords, ratio)
+	}
+	fmt.Fprintln(w)
+	return rows
+}

@@ -1,0 +1,289 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+// DistResult reports a distributed PCG solve on the simulated runtime.
+type DistResult struct {
+	Result
+	// X is the assembled solution (gathered at rank 0).
+	X []float64
+	// Breakdown aggregates the per-rank BSP clocks: modelled computation
+	// and communication time of the solve.
+	Breakdown tally.Breakdown
+	Procs     int
+}
+
+// DistributedPCG solves Ax = b with preconditioned CG on the simulated
+// bulk-synchronous runtime: a 1D row-block partition with one block-Jacobi
+// ILU(0) block per process (the PETSc configuration of Fig. 1), real halo
+// exchanges for the SpMV through AllToAllv, and AllReduce dot products.
+// Unlike ModelDistributedCG — which prices a sequential solve — this runs
+// the actual distributed algorithm, so its iteration counts, its
+// communication volumes and its modelled time all emerge from execution.
+func DistributedPCG(a *spmat.CSR, b []float64, procs int, model *tally.Model, tol float64, maxIter int) (*DistResult, error) {
+	if !a.HasValues() {
+		return nil, fmt.Errorf("cg: distributed PCG requires numeric values")
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("cg: rhs length %d for n=%d", len(b), a.N)
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > a.N && a.N > 0 {
+		procs = a.N
+	}
+	out := &DistResult{Procs: procs}
+	var solveErr error
+
+	stats := comm.Run(procs, model, func(c *comm.Comm) {
+		r := newCGRank(c, a)
+		if r.err != nil {
+			if c.Rank() == 0 {
+				solveErr = r.err
+			}
+			// Keep the collective structure alive: every rank still
+			// participates in the final gather below.
+			x := comm.Gatherv(c, []float64(nil), 0)
+			_ = x
+			return
+		}
+		res, x := r.solve(b, tol, maxIter)
+		full := comm.Gatherv(c, x, 0)
+		if c.Rank() == 0 {
+			out.Result = res
+			out.X = full
+		}
+	})
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	out.Breakdown = tally.Collect(stats)
+	return out, nil
+}
+
+// cgRank is one rank's state: its row block, its ILU(0) block factor and
+// the halo-exchange plan.
+type cgRank struct {
+	c      *comm.Comm
+	a      *spmat.CSR
+	lo, hi int
+	fac    *ILU0
+	err    error
+
+	// ghostIdx[o] lists the global column indices this rank needs from
+	// owner o each iteration; sendIdx[o] lists the local indices this
+	// rank must send to o (the mirror of o's ghostIdx for this rank).
+	ghostIdx [][]int
+	sendIdx  [][]int
+	// ghostVal maps a global ghost column to its slot in the received
+	// value buffer.
+	ghostPos map[int]int
+}
+
+func rowStart(n, procs, k int) int { return k * n / procs }
+
+func newCGRank(c *comm.Comm, a *spmat.CSR) *cgRank {
+	r := &cgRank{c: c, a: a, ghostPos: map[int]int{}}
+	r.lo = rowStart(a.N, c.Size(), c.Rank())
+	r.hi = rowStart(a.N, c.Size(), c.Rank()+1)
+
+	// Local diagonal block, factored with ILU(0): the block-Jacobi
+	// preconditioner with exactly one block per process.
+	var es []spmat.Coord
+	scanned := 0
+	for i := r.lo; i < r.hi; i++ {
+		vals := a.RowVals(i)
+		row := a.Row(i)
+		scanned += len(row)
+		for k, j := range row {
+			if j >= r.lo && j < r.hi {
+				es = append(es, spmat.Coord{Row: i - r.lo, Col: j - r.lo, Val: vals[k]})
+			}
+		}
+	}
+	c.Stats().AddWork(int64(scanned))
+	block := spmat.FromCoords(r.hi-r.lo, es, false)
+	fac, err := FactorILU0(block)
+	if err != nil {
+		r.err = fmt.Errorf("cg: rank %d block: %w", c.Rank(), err)
+		// All ranks must agree on failure; the caller's collective
+		// structure tolerates it because every rank sees its own error
+		// or completes setup. Broadcast the failure flag.
+	}
+	failed := comm.AllReduce(c, err != nil, func(x, y bool) bool { return x || y })
+	if failed {
+		if r.err == nil {
+			r.err = fmt.Errorf("cg: a peer rank failed ILU(0)")
+		}
+		return r
+	}
+	r.fac = fac
+
+	// Halo plan: which off-block columns do my rows touch, per owner.
+	owner := func(col int) int {
+		k := col * c.Size() / a.N
+		for k > 0 && col < rowStart(a.N, c.Size(), k) {
+			k--
+		}
+		for k < c.Size()-1 && col >= rowStart(a.N, c.Size(), k+1) {
+			k++
+		}
+		return k
+	}
+	ghostSet := map[int]bool{}
+	for i := r.lo; i < r.hi; i++ {
+		for _, j := range a.Row(i) {
+			if j < r.lo || j >= r.hi {
+				ghostSet[j] = true
+			}
+		}
+	}
+	r.ghostIdx = make([][]int, c.Size())
+	ghosts := make([]int, 0, len(ghostSet))
+	for j := range ghostSet {
+		ghosts = append(ghosts, j)
+	}
+	sort.Ints(ghosts)
+	for pos, j := range ghosts {
+		o := owner(j)
+		r.ghostIdx[o] = append(r.ghostIdx[o], j)
+		r.ghostPos[j] = pos
+	}
+	c.Stats().AddWork(int64(len(ghosts)))
+
+	// Tell every owner which of its entries we need; the mirror lists
+	// are what we must send each iteration.
+	reqs := comm.AllToAllv(c, r.ghostIdx)
+	r.sendIdx = make([][]int, c.Size())
+	for o, rq := range reqs {
+		for _, g := range rq {
+			r.sendIdx[o] = append(r.sendIdx[o], g-r.lo)
+		}
+	}
+	return r
+}
+
+// haloExchange distributes the needed remote entries of p (local slice) and
+// returns the ghost value buffer aligned with ghostPos.
+func (r *cgRank) haloExchange(p []float64) []float64 {
+	send := make([][]float64, r.c.Size())
+	work := 0
+	for o, idx := range r.sendIdx {
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, len(idx))
+		for k, li := range idx {
+			buf[k] = p[li]
+		}
+		send[o] = buf
+		work += len(idx)
+	}
+	r.c.Stats().AddWork(int64(work))
+	recv := comm.AllToAllv(r.c, send)
+	// Reassemble in ghost order: owner buckets are disjoint sorted
+	// ranges, and ghostIdx[o] is sorted, so concatenation by owner then
+	// position matches ghostPos.
+	out := make([]float64, len(r.ghostPos))
+	for o, idx := range r.ghostIdx {
+		vals := recv[o]
+		for k, g := range idx {
+			out[r.ghostPos[g]] = vals[k]
+		}
+	}
+	return out
+}
+
+// localSpMV computes the block row times the full x (local + ghosts).
+func (r *cgRank) localSpMV(p, ghosts, y []float64) {
+	work := 0
+	for i := r.lo; i < r.hi; i++ {
+		s := 0.0
+		vals := r.a.RowVals(i)
+		row := r.a.Row(i)
+		work += len(row)
+		for k, j := range row {
+			if j >= r.lo && j < r.hi {
+				s += vals[k] * p[j-r.lo]
+			} else {
+				s += vals[k] * ghosts[r.ghostPos[j]]
+			}
+		}
+		y[i-r.lo] = s
+	}
+	r.c.Stats().AddWork(int64(work))
+}
+
+func (r *cgRank) dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	r.c.Stats().AddWork(int64(len(x) / 4))
+	return comm.AllReduce(r.c, s, func(a, b float64) float64 { return a + b })
+}
+
+// solve runs the PCG iteration on the local block; every rank executes the
+// same control flow because all scalars come from AllReduce.
+func (r *cgRank) solve(bFull []float64, tol float64, maxIter int) (Result, []float64) {
+	n := r.hi - r.lo
+	b := bFull[r.lo:r.hi]
+	x := make([]float64, n)
+	res := Result{}
+	rv := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	bnorm := r.dot(b, b)
+	if bnorm == 0 {
+		res.Converged = true
+		return res, x
+	}
+	applyPrec := func() {
+		r.fac.Apply(rv, z)
+		r.c.Stats().AddWork(int64(r.fac.NNZ() / 2))
+	}
+	applyPrec()
+	copy(p, z)
+	rz := r.dot(rv, z)
+	for it := 0; it < maxIter; it++ {
+		ghosts := r.haloExchange(p)
+		r.localSpMV(p, ghosts, ap)
+		pap := r.dot(p, ap)
+		if pap == 0 {
+			break
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			rv[i] -= alpha * ap[i]
+		}
+		r.c.Stats().AddWork(int64(n / 2))
+		res.Iterations = it + 1
+		rr := r.dot(rv, rv)
+		res.FinalRel = math.Sqrt(rr / bnorm)
+		if res.FinalRel < tol {
+			res.Converged = true
+			break
+		}
+		applyPrec()
+		rzNew := r.dot(rv, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+		r.c.Stats().AddWork(int64(n / 2))
+	}
+	return res, x
+}

@@ -1,0 +1,73 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Microbenchmarks of the collective primitives: wall time of the simulation
+// layer itself (barriers, copies, boxing), which bounds how large a virtual
+// machine the experiments can afford to simulate.
+
+func benchSizes() []int { return []int{4, 16, 64} }
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			Run(p, nil, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					c.Barrier()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllGatherv(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			payload := make([]int64, 64)
+			Run(p, nil, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					AllGatherv(c, payload)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllToAllv(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			Run(p, nil, func(c *Comm) {
+				send := make([][]int64, c.Size())
+				for d := range send {
+					send[d] = make([]int64, 16)
+				}
+				for i := 0; i < b.N; i++ {
+					AllToAllv(c, send)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllReduce(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			Run(p, nil, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					AllReduceSum(c, int64(i))
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	Run(16, nil, func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.Split(c.Rank()%4, c.Rank())
+		}
+	})
+}

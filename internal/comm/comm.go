@@ -1,0 +1,478 @@
+// Package comm is the distributed-memory substrate of the reproduction: a
+// bulk-synchronous message-passing runtime in pure Go that plays the role
+// MPI plays in the paper.
+//
+// Ranks are goroutines. Collectives move data by copying it through a shared
+// exchange area guarded by sense-reversing barriers, so the data movement is
+// real (every word crosses the exchange exactly once per collective, like a
+// shared-memory MPI transport) and can be counted exactly. Every collective
+// also advances the participants' BSP virtual clocks (see package tally):
+// clocks synchronize to the maximum over the group, then the modelled α-β
+// cost of the operation is added. This reproduces the T = F + αS + βW
+// accounting the paper uses in §IV-B.
+//
+// Semantics follow MPI: all members of a communicator must call the same
+// collectives in the same order. Sub-communicators are created with Split,
+// which is how the 2D grid's row and column communicators are built.
+package comm
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/tally"
+)
+
+// slotEntry is one rank's deposit in the shared exchange area.
+type slotEntry struct {
+	data  any
+	clock float64
+	aux   int64
+}
+
+// barrier is a reusable sense-reversing barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	sense bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	if b.n <= 1 {
+		return
+	}
+	b.mu.Lock()
+	s := b.sense
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.sense = !s
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.sense == s {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Comm is a communicator: a group of ranks sharing an exchange area and a
+// barrier. The zero value is not usable; communicators are created by Run
+// (the world) and Split (subgroups).
+type Comm struct {
+	rank  int
+	size  int
+	slots []slotEntry
+	bar   *barrier
+	stats *tally.Stats
+	model *tally.Model
+}
+
+// Rank returns this rank's id within the communicator, in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns this rank's performance counters (shared across all
+// communicators the rank belongs to).
+func (c *Comm) Stats() *tally.Stats { return c.stats }
+
+// Model returns the machine model of the run.
+func (c *Comm) Model() *tally.Model { return c.model }
+
+// Run spawns p rank goroutines executing f and waits for all of them. It
+// returns the per-rank stats, whose virtual clocks and phase buckets describe
+// the modelled execution (see package tally).
+//
+// A panic in any rank is not recovered: it crashes the test or program, which
+// is the desired loud failure for a simulator.
+func Run(p int, model *tally.Model, f func(c *Comm)) []*tally.Stats {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: invalid world size %d", p))
+	}
+	if model == nil {
+		model = tally.Edison()
+	}
+	slots := make([]slotEntry, p)
+	bar := newBarrier(p)
+	stats := make([]*tally.Stats, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		stats[r] = tally.NewStats(model)
+		c := &Comm{rank: r, size: p, slots: slots, bar: bar, stats: stats[r], model: model}
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			f(c)
+		}(c)
+	}
+	wg.Wait()
+	return stats
+}
+
+// elemWords returns the size of T in 8-byte words (at least 1 fractional
+// word; sizes are rounded up to whole bytes then divided out as float).
+func elemWords[T any]() float64 {
+	var z T
+	sz := reflect.TypeOf(&z).Elem().Size()
+	return float64(sz) / 8
+}
+
+func words[T any](n int) int64 {
+	w := elemWords[T]() * float64(n)
+	iw := int64(w)
+	if float64(iw) < w {
+		iw++
+	}
+	return iw
+}
+
+// deposit writes this rank's entry and synchronizes; on return every member's
+// entry is visible. The returned function must be called once the caller has
+// finished reading other ranks' entries; it releases the exchange for reuse.
+func (c *Comm) deposit(data any, aux int64) (release func()) {
+	c.slots[c.rank] = slotEntry{data: data, clock: c.stats.ClockNs(), aux: aux}
+	c.bar.wait()
+	return c.bar.wait
+}
+
+// maxClock scans the deposited entries for the maximum virtual clock.
+func (c *Comm) maxClock() float64 {
+	m := c.slots[0].clock
+	for i := 1; i < c.size; i++ {
+		if c.slots[i].clock > m {
+			m = c.slots[i].clock
+		}
+	}
+	return m
+}
+
+// Barrier synchronizes all ranks of the communicator (and their clocks).
+func (c *Comm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	release := c.deposit(nil, 0)
+	sync := c.maxClock()
+	cost := c.model.BarrierCost(c.size)
+	c.stats.CommSync(sync, cost, 1, 0)
+	release()
+}
+
+// AllGatherv gathers every rank's local slice; the result is indexed by rank.
+// The returned slices are fresh copies owned by the caller.
+func AllGatherv[T any](c *Comm, local []T) [][]T {
+	if c.size == 1 {
+		out := make([][]T, 1)
+		out[0] = append([]T(nil), local...)
+		return out
+	}
+	release := c.deposit(local, 0)
+	sync := c.maxClock()
+	out := make([][]T, c.size)
+	var totalWords int64
+	for i := 0; i < c.size; i++ {
+		src := c.slots[i].data.([]T)
+		out[i] = append([]T(nil), src...)
+		totalWords += words[T](len(src))
+	}
+	cost := c.model.AllGatherCost(c.size, totalWords)
+	sent := words[T](len(local)) * int64(c.size-1)
+	c.stats.CommSync(sync, cost, int64(c.size-1), sent)
+	release()
+	return out
+}
+
+// AllGathervConcat gathers every rank's local slice and concatenates the
+// pieces in rank order.
+func AllGathervConcat[T any](c *Comm, local []T) []T {
+	if c.size == 1 {
+		return append([]T(nil), local...)
+	}
+	release := c.deposit(local, 0)
+	sync := c.maxClock()
+	total := 0
+	var totalWords int64
+	for i := 0; i < c.size; i++ {
+		n := len(c.slots[i].data.([]T))
+		total += n
+		totalWords += words[T](n)
+	}
+	out := make([]T, 0, total)
+	for i := 0; i < c.size; i++ {
+		out = append(out, c.slots[i].data.([]T)...)
+	}
+	cost := c.model.AllGatherCost(c.size, totalWords)
+	sent := words[T](len(local)) * int64(c.size-1)
+	c.stats.CommSync(sync, cost, int64(c.size-1), sent)
+	release()
+	return out
+}
+
+// AllToAllv performs a personalized exchange: send[i] goes to rank i, and
+// recv[i] holds what rank i sent to this rank. Fresh copies are returned.
+// len(send) must equal c.Size(); nil sub-slices are allowed.
+func AllToAllv[T any](c *Comm, send [][]T) [][]T {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("comm: AllToAllv send has %d buffers for %d ranks", len(send), c.size))
+	}
+	if c.size == 1 {
+		return [][]T{append([]T(nil), send[0]...)}
+	}
+	release := c.deposit(send, 0)
+	sync := c.maxClock()
+	recv := make([][]T, c.size)
+	var sentWords, recvWords int64
+	var msgs int64
+	for i := 0; i < c.size; i++ {
+		theirs := c.slots[i].data.([][]T)
+		recv[i] = append([]T(nil), theirs[c.rank]...)
+		recvWords += words[T](len(theirs[c.rank]))
+		if i != c.rank {
+			n := len(send[i])
+			sentWords += words[T](n)
+			if n > 0 {
+				msgs++
+			}
+		}
+	}
+	moved := sentWords
+	if recvWords > moved {
+		moved = recvWords
+	}
+	cost := c.model.AllToAllCost(c.size, moved)
+	c.stats.CommSync(sync, cost, msgs, sentWords)
+	release()
+	return recv
+}
+
+// AllReduce folds one value per rank with op, in rank order, and returns the
+// identical result on every rank. op must be associative; rank-order folding
+// keeps the result deterministic even for non-commutative tie-breaking ops.
+func AllReduce[T any](c *Comm, val T, op func(a, b T) T) T {
+	if c.size == 1 {
+		return val
+	}
+	release := c.deposit(val, 0)
+	sync := c.maxClock()
+	acc := c.slots[0].data.(T)
+	for i := 1; i < c.size; i++ {
+		acc = op(acc, c.slots[i].data.(T))
+	}
+	cost := c.model.AllReduceCost(c.size, words[T](1))
+	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2*words[T](1))
+	release()
+	return acc
+}
+
+// AllReduceSum is AllReduce specialised to integer sums.
+func AllReduceSum(c *Comm, val int64) int64 {
+	return AllReduce(c, val, func(a, b int64) int64 { return a + b })
+}
+
+// ExScan returns the exclusive prefix sum over ranks of val (rank 0 gets 0),
+// together with the total sum on every rank.
+func ExScan(c *Comm, val int64) (prefix, total int64) {
+	if c.size == 1 {
+		return 0, val
+	}
+	release := c.deposit(val, 0)
+	sync := c.maxClock()
+	for i := 0; i < c.size; i++ {
+		v := c.slots[i].data.(int64)
+		if i < c.rank {
+			prefix += v
+		}
+		total += v
+	}
+	cost := c.model.AllReduceCost(c.size, 1)
+	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2)
+	release()
+	return prefix, total
+}
+
+// Bcast broadcasts root's value to every rank.
+func Bcast[T any](c *Comm, val T, root int) T {
+	if c.size == 1 {
+		return val
+	}
+	var dep any
+	if c.rank == root {
+		dep = val
+	}
+	release := c.deposit(dep, 0)
+	sync := c.maxClock()
+	out := c.slots[root].data.(T)
+	cost := c.model.AllGatherCost(c.size, words[T](1))
+	var msgs, sent int64
+	if c.rank == root {
+		msgs, sent = int64(log2int(c.size)), words[T](1)
+	}
+	c.stats.CommSync(sync, cost, msgs, sent)
+	release()
+	return out
+}
+
+// BcastSlice broadcasts root's slice to every rank (fresh copies).
+func BcastSlice[T any](c *Comm, data []T, root int) []T {
+	if c.size == 1 {
+		return append([]T(nil), data...)
+	}
+	var dep any
+	if c.rank == root {
+		dep = data
+	}
+	release := c.deposit(dep, 0)
+	sync := c.maxClock()
+	src := c.slots[root].data.([]T)
+	out := append([]T(nil), src...)
+	cost := c.model.AllGatherCost(c.size, words[T](len(src)))
+	var msgs, sent int64
+	if c.rank == root {
+		msgs, sent = int64(log2int(c.size)), words[T](len(src))
+	}
+	c.stats.CommSync(sync, cost, msgs, sent)
+	release()
+	return out
+}
+
+// Gatherv gathers every rank's slice at root; non-root ranks receive nil.
+// The concatenation is in rank order.
+func Gatherv[T any](c *Comm, local []T, root int) []T {
+	if c.size == 1 {
+		return append([]T(nil), local...)
+	}
+	release := c.deposit(local, 0)
+	sync := c.maxClock()
+	var out []T
+	var totalWords int64
+	for i := 0; i < c.size; i++ {
+		totalWords += words[T](len(c.slots[i].data.([]T)))
+	}
+	if c.rank == root {
+		total := 0
+		for i := 0; i < c.size; i++ {
+			total += len(c.slots[i].data.([]T))
+		}
+		out = make([]T, 0, total)
+		for i := 0; i < c.size; i++ {
+			out = append(out, c.slots[i].data.([]T)...)
+		}
+	}
+	cost := c.model.AllGatherCost(c.size, totalWords) // tree gather, same α term
+	var msgs, sent int64
+	if c.rank != root {
+		msgs, sent = 1, words[T](len(local))
+	}
+	c.stats.CommSync(sync, cost, msgs, sent)
+	release()
+	return out
+}
+
+// Exchange swaps a slice with a partner rank (a point-to-point sendrecv,
+// used for the transpose exchange of the 2D SpMSpV). Both ranks of a pair
+// must call Exchange with each other's rank in the same collective step; all
+// other ranks of the communicator must call it too (possibly with
+// partner == own rank, which is a local copy). This keeps the operation
+// bulk-synchronous, matching how the CombBLAS vector transpose behaves
+// between two barriers.
+func Exchange[T any](c *Comm, partner int, data []T) []T {
+	if partner == c.rank {
+		out := append([]T(nil), data...)
+		// Still participate in the collective step.
+		if c.size > 1 {
+			release := c.deposit(data, 0)
+			sync := c.maxClock()
+			c.stats.CommSync(sync, 0, 0, 0)
+			release()
+		}
+		return out
+	}
+	release := c.deposit(data, 0)
+	sync := c.maxClock()
+	src := c.slots[partner].data.([]T)
+	out := append([]T(nil), src...)
+	w := words[T](len(data))
+	rw := words[T](len(src))
+	if rw > w {
+		w = rw
+	}
+	cost := c.model.P2PCost(w)
+	c.stats.CommSync(sync, cost, 1, words[T](len(data)))
+	release()
+	return out
+}
+
+// splitKey is the record gathered during Split.
+type splitKey struct {
+	color, key, rank int
+}
+
+// splitShare is what a group leader publishes to its members.
+type splitShare struct {
+	slots []slotEntry
+	bar   *barrier
+}
+
+// Split partitions the communicator into sub-communicators by color, ranked
+// by (key, old rank), exactly like MPI_Comm_split. Every rank must call it.
+func (c *Comm) Split(color, key int) *Comm {
+	if c.size == 1 {
+		return &Comm{rank: 0, size: 1, slots: make([]slotEntry, 1), bar: newBarrier(1), stats: c.stats, model: c.model}
+	}
+	// Round 1: gather everyone's (color, key).
+	keys := AllGatherv(c, []splitKey{{color, key, c.rank}})
+	group := make([]splitKey, 0, c.size)
+	for _, ks := range keys {
+		if ks[0].color == color {
+			group = append(group, ks[0])
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	newRank := -1
+	for i, g := range group {
+		if g.rank == c.rank {
+			newRank = i
+			break
+		}
+	}
+	leader := group[0].rank
+	// Round 2: the leader of each group allocates the shared state and
+	// publishes it in its own slot; members read it.
+	var dep any
+	if c.rank == leader {
+		dep = splitShare{slots: make([]slotEntry, len(group)), bar: newBarrier(len(group))}
+	}
+	release := c.deposit(dep, 0)
+	share := c.slots[leader].data.(splitShare)
+	sub := &Comm{rank: newRank, size: len(group), slots: share.slots, bar: share.bar, stats: c.stats, model: c.model}
+	sync := c.maxClock()
+	c.stats.CommSync(sync, c.model.AllGatherCost(c.size, int64(c.size)), 1, 1)
+	release()
+	return sub
+}
+
+func log2int(q int) int {
+	l := 0
+	for v := q - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+	"repro/internal/spvec"
+)
+
+// Algebraic computes the RCM ordering with a sequential transliteration of
+// the paper's matrix-algebraic formulation: Algorithm 3 (ordering) and
+// Algorithm 4 (pseudo-peripheral vertex), expressed with the Table I
+// primitives of package spvec and a sequential CSC SpMSpV. It produces the
+// identical permutation to Sequential and serves as the single-process
+// reference for the distributed implementation.
+func Algebraic(a *spmat.CSR) *Ordering { return AlgebraicOpt(a, DefaultOptions()) }
+
+// AlgebraicOpt is Algebraic with explicit options.
+func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
+	n := a.N
+	csc := a.ToCSC()
+	degInt := a.Degrees()
+	deg := make([]int64, n)
+	for i, d := range degInt {
+		deg[i] = int64(d)
+	}
+	sr := semiring.Select2ndMin{}
+	spa := newSpa(n)
+
+	// R: dense ordering vector, -1 = unlabeled (Algorithm 3, line 1).
+	r := spvec.NewDense(n, -1)
+	res := &Ordering{}
+	nv := int64(0)
+	for {
+		start := -1
+		for v := 0; v < n; v++ {
+			if r[v] < 0 {
+				start = v
+				break
+			}
+		}
+		if start == -1 {
+			break
+		}
+		if res.Components == 0 && opt.Start >= 0 {
+			start = opt.Start
+		}
+		root := start
+		if !opt.SkipPeripheral {
+			var ecc int
+			root, ecc = algebraicPeripheral(csc, deg, start, sr, spa)
+			if ecc > res.PseudoDiameter {
+				res.PseudoDiameter = ecc
+			}
+		}
+		nv = algebraicOrder(csc, deg, r, root, nv, sr, spa)
+		res.Components++
+	}
+	res.Perm = permFromLabels(r, !opt.NoReverse)
+	return res
+}
+
+// spa is the sparse accumulator scratch of the sequential SpMSpV.
+type spa struct {
+	val  []int64
+	mark []bool
+}
+
+func newSpa(n int) *spa {
+	return &spa{val: make([]int64, n), mark: make([]bool, n)}
+}
+
+// seqSpMSpV computes A·x over the semiring: the sequential CSC kernel
+// (SPMSPV of Table I). The output is index-sorted.
+func seqSpMSpV(a *spmat.CSC, x *spvec.Sp, sr semiring.Semiring, s *spa) *spvec.Sp {
+	var touched []int
+	for k, j := range x.Ind {
+		prod := sr.Multiply(x.Val[k])
+		for _, i := range a.Column(j) {
+			if !s.mark[i] {
+				s.mark[i] = true
+				s.val[i] = sr.Add(sr.Identity(), prod)
+				touched = append(touched, i)
+			} else {
+				s.val[i] = sr.Add(s.val[i], prod)
+			}
+		}
+	}
+	sortInts(touched)
+	out := &spvec.Sp{}
+	for _, i := range touched {
+		out.Append(i, s.val[i])
+		s.mark[i] = false
+	}
+	return out
+}
+
+// algebraicPeripheral is Algorithm 4: repeated BFS via SpMSpV, returning the
+// minimum-(degree, id) vertex of the final BFS's last level and the best
+// eccentricity seen.
+func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Select2ndMin, s *spa) (int, int) {
+	root := start
+	prevEcc := 0
+	for {
+		l := spvec.NewDense(a.Cols, -1) // L: BFS level per vertex (-1 unvisited)
+		l[root] = 0
+		cur := spvec.Single(root, 0)
+		last := cur
+		ecc := 0
+		for {
+			spvec.GatherDense(cur, l) // Lcur ← SET(Lcur, L)
+			next := seqSpMSpV(a, cur, sr, s)
+			next = spvec.Select(next, l, func(v int64) bool { return v == -1 })
+			if next.Len() == 0 {
+				break
+			}
+			ecc++
+			for k := range next.Val {
+				next.Val[k] = int64(ecc)
+			}
+			spvec.SetDense(l, next) // L ← SET(L, Lnext)
+			cur, last = next, next
+		}
+		cand, _ := spvec.ArgMinBy(last, deg) // r ← REDUCE(Lcur, D)
+		if ecc <= prevEcc {
+			return cand, prevEcc
+		}
+		prevEcc = ecc
+		root = cand
+	}
+}
+
+// algebraicOrder is Algorithm 3: the ordering BFS. Frontier values carry the
+// labels of the frontier vertices; SpMSpV over (select2nd, min) hands every
+// discovered vertex its minimum-label parent; SORTPERM labels the next
+// frontier lexicographically by (parent label, degree, vertex id).
+func algebraicOrder(a *spmat.CSC, deg []int64, r []int64, root int, nv int64, sr semiring.Select2ndMin, s *spa) int64 {
+	r[root] = nv
+	nv++
+	cur := spvec.Single(root, 0)
+	for {
+		spvec.GatherDense(cur, r) // Lcur ← SET(Lcur, R)
+		next := seqSpMSpV(a, cur, sr, s)
+		next = spvec.Select(next, r, func(v int64) bool { return v == -1 })
+		if next.Len() == 0 {
+			return nv
+		}
+		// Rnext ← SORTPERM(Lnext, D) + nv.
+		tuples := spvec.TuplesOf(next, deg)
+		spvec.SortTuples(tuples)
+		for k, t := range tuples {
+			r[t.Vertex] = nv + int64(k) // R ← SET(R, Rnext)
+		}
+		nv += int64(len(tuples))
+		cur = next
+	}
+}
+
+func sortInts(xs []int) {
+	// Insertion sort for the short lists, stdlib sort above a threshold.
+	if len(xs) < 32 {
+		for i := 1; i < len(xs); i++ {
+			v := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > v {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = v
+		}
+		return
+	}
+	sortIntsStd(xs)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/distmat"
+	"repro/internal/grid"
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+// randPerm returns a seeded random permutation in new→old convention.
+func randPerm(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}
+
+func isqrt(n int) int {
+	q := 0
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q
+}
+
+// SortMode selects how the next frontier is labeled, covering the paper's
+// §VI future-work alternatives to the full distributed sort.
+type SortMode int
+
+const (
+	// SortFull is the paper's algorithm: a distributed bucket sort by
+	// (parent label, degree, vertex id) spanning all processes.
+	SortFull SortMode = iota
+	// SortLocal sorts only within each process, avoiding the global
+	// AllToAll at some cost in ordering quality.
+	SortLocal
+	// SortNone labels vertices in discovery order, skipping the degree
+	// sort entirely.
+	SortNone
+)
+
+// String names the sort mode in reports.
+func (m SortMode) String() string {
+	switch m {
+	case SortFull:
+		return "full"
+	case SortLocal:
+		return "local"
+	case SortNone:
+		return "none"
+	}
+	return fmt.Sprintf("SortMode(%d)", int(m))
+}
+
+// DistOptions configures a distributed RCM run.
+type DistOptions struct {
+	// Procs is the number of simulated MPI processes; it must be a
+	// perfect square (the paper's implementation has the same
+	// restriction).
+	Procs int
+	// Model is the machine cost model; nil selects tally.Edison(). The
+	// model's Threads field is the hybrid MPI+OpenMP thread count per
+	// process, so "cores" = Procs × Threads.
+	Model *tally.Model
+	// SortMode selects the frontier labeling strategy (default SortFull).
+	SortMode SortMode
+	// RandomPermSeed, when nonzero, applies the random symmetric
+	// load-balancing permutation of §IV-A before ordering ("to balance
+	// load across processors, we randomly permute the input matrix A")
+	// and composes it back out of the returned permutation, so Perm
+	// still refers to the caller's matrix.
+	RandomPermSeed int64
+	// Hypersparse stores local blocks in DCSC (doubly compressed) form,
+	// the CombBLAS storage for large process grids where blocks have far
+	// fewer nonzeros than columns. The ordering is unchanged; only the
+	// memory footprint and kernel probe pattern differ.
+	Hypersparse bool
+	// Options embeds the common start-vertex controls.
+	Options
+}
+
+// DistOrdering extends Ordering with the modelled performance breakdown of
+// the simulated run.
+type DistOrdering struct {
+	Ordering
+	// Breakdown aggregates the per-rank BSP clocks and phase buckets; its
+	// phase times are the bar segments of Fig. 4, and its SpMSpV
+	// comp/comm split is Fig. 5.
+	Breakdown tally.Breakdown
+	// Procs and Threads record the configuration (cores = Procs×Threads).
+	Procs, Threads int
+}
+
+// Distributed computes the RCM ordering with the paper's distributed-memory
+// algorithm on the simulated runtime: the matrix is decomposed onto a
+// √p×√p process grid, and Algorithms 3 and 4 run as bulk-synchronous
+// compositions of the distributed Table I primitives.
+func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
+	if opt.Procs < 1 {
+		opt.Procs = 1
+	}
+	if q := isqrt(opt.Procs); q*q != opt.Procs {
+		// Validate in the caller so the panic is recoverable; the same
+		// restriction the paper's implementation has (§V-A).
+		panic(fmt.Sprintf("core: Distributed requires a square process count, got %d", opt.Procs))
+	}
+	model := opt.Model
+	if model == nil {
+		model = tally.Edison()
+	}
+	var scramble []int
+	if opt.RandomPermSeed != 0 {
+		var scrambled *spmat.CSR
+		scrambled, scramble = graphgenScramble(a, opt.RandomPermSeed)
+		a = scrambled
+		if opt.Start >= 0 && len(scramble) > 0 {
+			// Start refers to the caller's vertex ids; translate.
+			inv := spmat.InvertPerm(scramble)
+			opt.Start = inv[opt.Start]
+		}
+	}
+	n := a.N
+	res := &DistOrdering{Procs: opt.Procs, Threads: model.Threads}
+	var labels []int64
+	var diam, comps int
+
+	stats := comm.Run(opt.Procs, model, func(c *comm.Comm) {
+		g := grid.Square(c)
+		d := grid.NewDist(g, n)
+		c.Stats().SetPhase(tally.Setup)
+		A := distmat.NewMat(d, a)
+		if opt.Hypersparse {
+			A.EnableDCSC()
+		}
+		D := distmat.DegreeVec(A)
+		R := distmat.NewVec(d, -1)
+
+		nv := int64(0)
+		pd := 0
+		nc := 0
+		for nv < int64(n) {
+			c.Stats().SetPhase(tally.PeripheralOther)
+			start := firstUnlabeled(R)
+			if start < 0 {
+				break
+			}
+			if nc == 0 && opt.Start >= 0 {
+				start = opt.Start
+			}
+			root := start
+			if !opt.SkipPeripheral {
+				var ecc int
+				root, ecc = distPeripheral(A, D, start)
+				if ecc > pd {
+					pd = ecc
+				}
+			}
+			nv = distOrder(A, D, R, root, nv, opt.SortMode)
+			nc++
+		}
+
+		c.Stats().SetPhase(tally.Setup)
+		full := R.Gather(0)
+		if c.Rank() == 0 {
+			labels = full
+			diam = pd
+			comps = nc
+		}
+	})
+
+	res.Breakdown = tally.Collect(stats)
+	res.PseudoDiameter = diam
+	res.Components = comps
+	res.Perm = permFromLabels(labels, !opt.NoReverse)
+	if scramble != nil {
+		// Perm orders the scrambled matrix QAQᵀ; compose with the
+		// scramble so it orders the caller's A: position k holds
+		// scrambled row Perm[k], which is original row
+		// scramble[Perm[k]].
+		for k, v := range res.Perm {
+			res.Perm[k] = scramble[v]
+		}
+	}
+	return res
+}
+
+// graphgenScramble mirrors graphgen.Scramble without importing it (package
+// graphgen depends on spmat only; core stays below graphgen in the package
+// graph). It applies a seeded random symmetric permutation.
+func graphgenScramble(a *spmat.CSR, seed int64) (*spmat.CSR, []int) {
+	perm := randPerm(a.N, seed)
+	return a.Permute(perm), perm
+}
+
+// firstUnlabeled returns the smallest global index with R == -1, or -1 if
+// all vertices are labeled. Collective.
+func firstUnlabeled(r *distmat.Vec) int {
+	best := math.MaxInt
+	for k, v := range r.Data {
+		if v < 0 {
+			best = r.Lo + k
+			break
+		}
+	}
+	r.D.G.World.Stats().AddWork(int64(len(r.Data)))
+	out := comm.AllReduce(r.D.G.World, best, func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	if out == math.MaxInt {
+		return -1
+	}
+	return out
+}
+
+// distPeripheral is Algorithm 4 on the distributed primitives: repeated
+// breadth-first searches via SPMSPV over (select2nd, min), each followed by
+// the REDUCE picking the minimum-(degree, id) vertex of the last level,
+// until the eccentricity stops improving.
+func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
+	g := A.D.G
+	sr := semiring.Select2ndMin{}
+	root := start
+	prevEcc := 0
+	for {
+		g.World.Stats().SetPhase(tally.PeripheralOther)
+		L := distmat.NewVec(A.D, -1)
+		if L.Owns(root) {
+			L.Set(root, 0)
+		}
+		cur := distmat.NewSpVSingle(A.D, root, 0)
+		last := cur
+		ecc := 0
+		for {
+			cur.GatherDense(L)
+			g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
+			next := A.SpMSpV(cur, sr)
+			g.World.Stats().SetPhase(tally.PeripheralOther)
+			next = next.Select(L, func(v int64) bool { return v == -1 })
+			if next.Nnz() == 0 {
+				break
+			}
+			ecc++
+			for k := range next.Loc.Val {
+				next.Loc.Val[k] = int64(ecc)
+			}
+			next.SetDense(L)
+			cur, last = next, next
+		}
+		cand := last.ArgMinBy(D)
+		if ecc <= prevEcc {
+			return cand, prevEcc
+		}
+		prevEcc = ecc
+		root = cand
+	}
+}
+
+// distOrder is Algorithm 3 on the distributed primitives: the labeling BFS
+// whose next frontier is labeled by the distributed SORTPERM.
+func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int64, mode SortMode) int64 {
+	g := A.D.G
+	sr := semiring.Select2ndMin{}
+	g.World.Stats().SetPhase(tally.OrderingOther)
+	if R.Owns(root) {
+		R.Set(root, nv)
+	}
+	nv++
+	cur := distmat.NewSpVSingle(A.D, root, 0)
+	for {
+		cur.GatherDense(R) // Lcur ← SET(Lcur, R)
+		g.World.Stats().SetPhase(tally.OrderingSpMSpV)
+		next := A.SpMSpV(cur, sr) // Lnext ← SPMSPV(A, Lcur)
+		g.World.Stats().SetPhase(tally.OrderingOther)
+		next = next.Select(R, func(v int64) bool { return v == -1 })
+		cnt := next.Nnz()
+		if cnt == 0 {
+			return nv
+		}
+		g.World.Stats().SetPhase(tally.OrderingSort)
+		var rnext *distmat.SpV
+		switch mode {
+		case SortLocal:
+			rnext = distmat.SortPermLocal(next, D, nv)
+		case SortNone:
+			rnext = distmat.SortPermNone(next, nv)
+		default:
+			rnext = distmat.SortPerm(next, D, nv) // Rnext ← SORTPERM(Lnext, D) + nv
+		}
+		g.World.Stats().SetPhase(tally.OrderingOther)
+		rnext.SetDense(R) // R ← SET(R, Rnext)
+		nv += cnt
+		cur = next
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/psort"
+	"repro/internal/spmat"
+)
+
+func sortIntsStd(xs []int) { sort.Ints(xs) }
+
+// Shared computes the RCM ordering with a level-synchronous shared-memory
+// parallel algorithm in the style of Karantasis et al. (SC'14), which is
+// what the SpMP library the paper compares against implements. Frontier
+// expansion is parallelised across threads goroutines; the per-level merge
+// keeps the deterministic contract (minimum-label parent, ties by degree
+// then id), so the result is identical to Sequential.
+func Shared(a *spmat.CSR, threads int) *Ordering {
+	return SharedOpt(a, threads, DefaultOptions())
+}
+
+// SharedOpt is Shared with explicit options.
+func SharedOpt(a *spmat.CSR, threads int, opt Options) *Ordering {
+	if threads < 1 {
+		threads = 1
+	}
+	n := a.N
+	deg := a.Degrees()
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	res := &Ordering{}
+	nv := int64(0)
+	w := &sharedWork{a: a, deg: deg, threads: threads, levels: make([]int, n)}
+	for {
+		start := -1
+		for v := 0; v < n; v++ {
+			if labels[v] < 0 {
+				start = v
+				break
+			}
+		}
+		if start == -1 {
+			break
+		}
+		if res.Components == 0 && opt.Start >= 0 {
+			start = opt.Start
+		}
+		root := start
+		if !opt.SkipPeripheral {
+			var ecc int
+			root, ecc = w.peripheral(start)
+			if ecc > res.PseudoDiameter {
+				res.PseudoDiameter = ecc
+			}
+		}
+		nv = w.order(labels, root, nv)
+		res.Components++
+	}
+	res.Perm = permFromLabels(labels, !opt.NoReverse)
+	return res
+}
+
+type sharedWork struct {
+	a       *spmat.CSR
+	deg     []int
+	threads int
+	levels  []int
+}
+
+// parallelRanges invokes f(t, lo, hi) for threads contiguous slices of
+// [0, n) and waits.
+func (w *sharedWork) parallelRanges(n int, f func(t, lo, hi int)) {
+	t := w.threads
+	if t > n {
+		t = n
+	}
+	if t <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < t; k++ {
+		lo, hi := k*n/t, (k+1)*n/t
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			f(k, lo, hi)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+// candidate is a (child, parent position) pair produced during expansion.
+type candidate struct {
+	child     int
+	parentPos int
+}
+
+// expand collects candidate children of the frontier in parallel. visited
+// must be stable during the call (children of the current level are not
+// marked until the merge), so workers race only on reads.
+func (w *sharedWork) expand(frontier []int, visited []bool) []candidate {
+	parts := make([][]candidate, w.threads)
+	w.parallelRanges(len(frontier), func(t, lo, hi int) {
+		var out []candidate
+		for pi := lo; pi < hi; pi++ {
+			v := frontier[pi]
+			for _, u := range w.a.Row(v) {
+				if u != v && !visited[u] {
+					out = append(out, candidate{child: u, parentPos: pi})
+				}
+			}
+		}
+		parts[t] = out
+	})
+	var all []candidate
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// dedupe keeps, for every child, the candidate with the smallest parent
+// position (the minimum-label parent of the deterministic contract). The
+// sort parallelises on large frontiers.
+func (w *sharedWork) dedupe(cands []candidate) []candidate {
+	psort.Slice(cands, func(a, b candidate) bool {
+		if a.child != b.child {
+			return a.child < b.child
+		}
+		return a.parentPos < b.parentPos
+	}, w.threads)
+	out := cands[:0]
+	for _, c := range cands {
+		if len(out) == 0 || out[len(out)-1].child != c.child {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// peripheral runs the pseudo-peripheral search with parallel BFS.
+func (w *sharedWork) peripheral(start int) (int, int) {
+	root := start
+	prevEcc := 0
+	visited := make([]bool, w.a.N)
+	for {
+		for i := range visited {
+			visited[i] = false
+		}
+		visited[root] = true
+		frontier := []int{root}
+		last := frontier
+		ecc := 0
+		for {
+			cands := w.dedupe(w.expand(frontier, visited))
+			if len(cands) == 0 {
+				break
+			}
+			next := make([]int, len(cands))
+			for k, c := range cands {
+				next[k] = c.child
+				visited[c.child] = true
+			}
+			frontier, last = next, next
+			ecc++
+		}
+		cand := last[0]
+		for _, v := range last[1:] {
+			if w.deg[v] < w.deg[cand] || (w.deg[v] == w.deg[cand] && v < cand) {
+				cand = v
+			}
+		}
+		if ecc <= prevEcc {
+			return cand, prevEcc
+		}
+		prevEcc = ecc
+		root = cand
+	}
+}
+
+// order runs the labeling BFS: per level, parallel expansion, deterministic
+// merge sorted by (parent position, degree, id), then label assignment.
+func (w *sharedWork) order(labels []int64, root int, nv int64) int64 {
+	visited := make([]bool, w.a.N)
+	// Vertices of previous components are visited too.
+	for v := range labels {
+		visited[v] = labels[v] >= 0
+	}
+	labels[root] = nv
+	nv++
+	visited[root] = true
+	frontier := []int{root}
+	for {
+		cands := w.dedupe(w.expand(frontier, visited))
+		if len(cands) == 0 {
+			return nv
+		}
+		psort.Slice(cands, func(a, b candidate) bool {
+			if a.parentPos != b.parentPos {
+				return a.parentPos < b.parentPos
+			}
+			da, db := w.deg[a.child], w.deg[b.child]
+			if da != db {
+				return da < db
+			}
+			return a.child < b.child
+		}, w.threads)
+		next := make([]int, len(cands))
+		for k, c := range cands {
+			next[k] = c.child
+			visited[c.child] = true
+			labels[c.child] = nv + int64(k)
+		}
+		nv += int64(len(cands))
+		frontier = next
+	}
+}

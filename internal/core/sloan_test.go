@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graphgen"
+	"repro/internal/spmat"
+)
+
+func TestSloanProducesValidPermutation(t *testing.T) {
+	cases := map[string]*spmat.CSR{
+		"path":         graphgen.Path(20),
+		"star":         graphgen.Star(8),
+		"complete":     graphgen.Complete(6),
+		"grid2d":       graphgen.Grid2D(8, 6),
+		"disconnected": graphgen.Disconnected(graphgen.Path(5), graphgen.Grid2D(3, 3)),
+		"singleton":    graphgen.Path(1),
+		"random":       randSym(3, 40, 100),
+		"isolated":     spmat.FromCoords(3, nil, true),
+	}
+	for name, a := range cases {
+		ord := Sloan(a)
+		if !spmat.IsPerm(ord.Perm) {
+			t.Errorf("%s: invalid permutation %v", name, ord.Perm)
+		}
+	}
+}
+
+func TestSloanEmpty(t *testing.T) {
+	ord := Sloan(spmat.FromCoords(0, nil, true))
+	if len(ord.Perm) != 0 || ord.Components != 0 {
+		t.Errorf("empty: %+v", ord)
+	}
+}
+
+func TestSloanReducesProfileOnMeshes(t *testing.T) {
+	for name, gen := range map[string]*spmat.CSR{
+		"grid2d": graphgen.Grid2D(15, 15),
+		"grid3d": graphgen.Grid3D(6, 6, 5, 1, true),
+	} {
+		a, _ := graphgen.Scramble(gen, 11)
+		p := a.Permute(Sloan(a).Perm)
+		if p.Profile() >= a.Profile()/2 {
+			t.Errorf("%s: profile %d -> %d; expected strong reduction", name, a.Profile(), p.Profile())
+		}
+	}
+}
+
+func TestSloanCompetitiveWithRCMOnProfile(t *testing.T) {
+	// Sloan targets the profile; it should be in the same ballpark as
+	// RCM (usually better) on mesh problems.
+	a, _ := graphgen.Scramble(graphgen.Grid2D(20, 12), 13)
+	rcmProf := a.Permute(Sequential(a).Perm).Profile()
+	sloanProf := a.Permute(Sloan(a).Perm).Profile()
+	if sloanProf > 2*rcmProf {
+		t.Errorf("Sloan profile %d far above RCM %d", sloanProf, rcmProf)
+	}
+}
+
+func TestSloanDeterministic(t *testing.T) {
+	a, _ := graphgen.Scramble(graphgen.Grid2D(10, 10), 17)
+	p1 := Sloan(a).Perm
+	p2 := Sloan(a).Perm
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("Sloan not deterministic")
+		}
+	}
+}
+
+func TestSloanWeightsChangeTradeoff(t *testing.T) {
+	// Heavier distance weight makes Sloan behave more like a BFS level
+	// ordering; both must remain valid.
+	a, _ := graphgen.Scramble(graphgen.Grid2D(12, 12), 19)
+	d := SloanWeights(a, 1, 8)
+	f := SloanWeights(a, 8, 1)
+	if !spmat.IsPerm(d.Perm) || !spmat.IsPerm(f.Perm) {
+		t.Fatal("invalid permutation under non-default weights")
+	}
+}
+
+func TestQuickSloanAlwaysPermutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := randSym(seed, n, 2*n)
+		return spmat.IsPerm(Sloan(a).Perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

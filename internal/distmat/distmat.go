@@ -1,0 +1,391 @@
+// Package distmat implements the distributed-memory objects of the paper's
+// §IV: a sparse matrix decomposed into 2D blocks stored locally in CSC, and
+// distributed sparse/dense vectors in the canonical grid layout. On top of
+// these it provides the distributed versions of the Table I primitives —
+// SPMSPV over a semiring (the CombBLAS 2D algorithm), element-wise
+// SELECT/SET/IND (communication-free by construction), REDUCE (local fold +
+// all-reduce) and the distributed bucket SORTPERM of §IV-B.
+//
+// Every method is SPMD: all ranks of the grid call it collectively with
+// their own local pieces. Local work is reported to the rank's tally.Stats,
+// and all communication flows through package comm, so the BSP virtual clock
+// of each rank tracks the modelled execution time of the paper's cost model.
+package distmat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/grid"
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+	"repro/internal/spvec"
+)
+
+// Entry is a (global index, value) pair exchanged between ranks.
+type Entry struct {
+	Ind int
+	Val int64
+}
+
+// Mat is one rank's block of a distributed pattern matrix.
+type Mat struct {
+	D *grid.Dist
+	// RowLo/RowHi and ColLo/ColHi delimit the global index ranges of the
+	// local block; Block stores it in CSC with block-local indices.
+	RowLo, RowHi int
+	ColLo, ColHi int
+	Block        *spmat.CSC
+	// dcsc, when non-nil, is the doubly compressed form of Block and the
+	// SpMSpV kernel runs over it instead (see EnableDCSC).
+	dcsc *spmat.DCSC
+
+	// spa is the sparse-accumulator scratch reused across SpMSpV calls.
+	spaVal  []int64
+	spaMark []bool
+}
+
+// EnableDCSC switches the local SpMSpV kernel to the doubly compressed
+// block (hypersparse regime); results are identical, storage and probe
+// pattern differ. Local operation.
+func (m *Mat) EnableDCSC() {
+	if m.dcsc == nil {
+		m.dcsc = spmat.DCSCFromCSC(m.Block)
+	}
+}
+
+// NewMat extracts the calling rank's block of the global matrix a
+// (structure only). In a real distributed setting the matrix would already
+// be distributed (the paper's motivating scenario); the simulator hands
+// every rank the same read-only global structure and each rank carves out
+// its block, which costs the same local scan.
+func NewMat(d *grid.Dist, a *spmat.CSR) *Mat {
+	if a.N != d.N {
+		panic(fmt.Sprintf("distmat: matrix dimension %d does not match distribution %d", a.N, d.N))
+	}
+	m := &Mat{D: d}
+	m.RowLo, m.RowHi = d.MyRowRange()
+	m.ColLo, m.ColHi = d.MyColRange()
+	var rr, cc []int
+	scanned := 0
+	for i := m.RowLo; i < m.RowHi; i++ {
+		row := a.Row(i)
+		scanned += len(row)
+		for _, j := range row {
+			if j >= m.ColLo && j < m.ColHi {
+				rr = append(rr, i-m.RowLo)
+				cc = append(cc, j-m.ColLo)
+			}
+		}
+	}
+	m.Block = spmat.CSCFromCoords(m.RowHi-m.RowLo, m.ColHi-m.ColLo, rr, cc)
+	m.spaVal = make([]int64, m.RowHi-m.RowLo)
+	m.spaMark = make([]bool, m.RowHi-m.RowLo)
+	d.G.World.Stats().AddWork(int64(scanned))
+	return m
+}
+
+// Vec is one rank's chunk of a distributed dense vector.
+type Vec struct {
+	D      *grid.Dist
+	Lo, Hi int
+	Data   []int64
+}
+
+// NewVec allocates a distributed dense vector filled with fill.
+func NewVec(d *grid.Dist, fill int64) *Vec {
+	lo, hi := d.MyRange()
+	v := &Vec{D: d, Lo: lo, Hi: hi, Data: make([]int64, hi-lo)}
+	if fill != 0 {
+		spvec.Fill(v.Data, fill)
+	}
+	return v
+}
+
+// At returns the value at global index g, which must be locally owned.
+func (v *Vec) At(g int) int64 { return v.Data[g-v.Lo] }
+
+// Set assigns the value at global index g, which must be locally owned.
+func (v *Vec) Set(g int, val int64) { v.Data[g-v.Lo] = val }
+
+// Owns reports whether global index g falls in this rank's chunk.
+func (v *Vec) Owns(g int) bool { return g >= v.Lo && g < v.Hi }
+
+// Gather collects the full dense vector at root (nil elsewhere). World rank
+// order coincides with ascending global ranges, so concatenation is the
+// vector.
+func (v *Vec) Gather(root int) []int64 {
+	return comm.Gatherv(v.D.G.World, v.Data, root)
+}
+
+// SpV is one rank's chunk of a distributed sparse vector: entries with
+// global indices inside [Lo, Hi), index-sorted.
+type SpV struct {
+	D      *grid.Dist
+	Lo, Hi int
+	Loc    spvec.Sp // global indices
+}
+
+// NewSpV returns an empty distributed sparse vector.
+func NewSpV(d *grid.Dist) *SpV {
+	lo, hi := d.MyRange()
+	return &SpV{D: d, Lo: lo, Hi: hi}
+}
+
+// NewSpVSingle returns a distributed sparse vector holding the single entry
+// (ind, val); only the owning rank stores it.
+func NewSpVSingle(d *grid.Dist, ind int, val int64) *SpV {
+	x := NewSpV(d)
+	if ind >= x.Lo && ind < x.Hi {
+		x.Loc.Append(ind, val)
+	}
+	return x
+}
+
+// LocalLen returns the number of locally stored entries.
+func (x *SpV) LocalLen() int { return x.Loc.Len() }
+
+// Nnz returns the global number of nonzeros (collective).
+func (x *SpV) Nnz() int64 {
+	return comm.AllReduceSum(x.D.G.World, int64(x.Loc.Len()))
+}
+
+// GatherDense replaces the values of x with the corresponding entries of the
+// distributed dense vector y: the distributed SET(Lcur, R) gather step.
+// Local by construction (x and y share the canonical distribution).
+func (x *SpV) GatherDense(y *Vec) {
+	for k, i := range x.Loc.Ind {
+		x.Loc.Val[k] = y.At(i)
+	}
+	x.D.G.World.Stats().AddWork(int64(x.Loc.Len()))
+}
+
+// Select returns the entries of x whose dense value satisfies pred: the
+// distributed SELECT primitive. Local by construction.
+func (x *SpV) Select(y *Vec, pred func(int64) bool) *SpV {
+	out := &SpV{D: x.D, Lo: x.Lo, Hi: x.Hi}
+	for k, i := range x.Loc.Ind {
+		if pred(y.At(i)) {
+			out.Loc.Append(i, x.Loc.Val[k])
+		}
+	}
+	x.D.G.World.Stats().AddWork(int64(x.Loc.Len()))
+	return out
+}
+
+// SetDense overwrites y at the indices of x with x's values: the distributed
+// SET(R, Rnext) primitive. Local by construction.
+func (x *SpV) SetDense(y *Vec) {
+	for k, i := range x.Loc.Ind {
+		y.Set(i, x.Loc.Val[k])
+	}
+	x.D.G.World.Stats().AddWork(int64(x.Loc.Len()))
+}
+
+// minPair is the payload of the ArgMin reduction.
+type minPair struct {
+	key int64
+	ind int
+}
+
+// ArgMinBy returns the global index of x minimizing (y value, index), with
+// deterministic tie-breaking by index, or -1 if x is globally empty. This is
+// the REDUCE(Lcur, D) step selecting the minimum-degree vertex of the last
+// BFS level (Algorithm 4, line 16). Collective.
+func (x *SpV) ArgMinBy(y *Vec) int {
+	best := minPair{key: math.MaxInt64, ind: -1}
+	for _, i := range x.Loc.Ind {
+		k := y.At(i)
+		if k < best.key || (k == best.key && i < best.ind) || best.ind == -1 {
+			best = minPair{key: k, ind: i}
+		}
+	}
+	x.D.G.World.Stats().AddWork(int64(x.Loc.Len()))
+	out := comm.AllReduce(x.D.G.World, best, func(a, b minPair) minPair {
+		if b.ind == -1 {
+			return a
+		}
+		if a.ind == -1 || b.key < a.key || (b.key == a.key && b.ind < a.ind) {
+			return b
+		}
+		return a
+	})
+	return out.ind
+}
+
+// SpMSpV multiplies the distributed matrix by the distributed sparse vector
+// over the semiring sr, returning a distributed sparse vector. This is the
+// 2D CombBLAS algorithm the paper builds on (§IV-B):
+//
+//  1. transpose exchange: each rank sends its vector chunk to its transpose
+//     partner, aligning vector pieces with processor columns;
+//  2. AllGatherv along the processor column, assembling the full frontier
+//     segment x_j needed by the column's matrix blocks;
+//  3. local CSC SpMSpV with a sparse accumulator;
+//  4. AllToAllv along the processor row, routing output entries to their
+//     owners, merged with the semiring's addition.
+//
+// Collective; requires a square grid.
+func (m *Mat) SpMSpV(x *SpV, sr semiring.Semiring) *SpV {
+	g := m.D.G
+	if g.Pr != g.Pc {
+		panic("distmat: SpMSpV requires a square process grid")
+	}
+	// Step 1: transpose exchange.
+	mine := packEntries(&x.Loc)
+	swapped := comm.Exchange(g.World, g.TransposeRank(), mine)
+	// Step 2: assemble x_j along the processor column. Column ranks are
+	// ordered by grid row, and after the transpose each holds the
+	// sub-chunk of column block MyCol matching its grid row, so
+	// concatenation in rank order is sorted by global index.
+	xj := comm.AllGathervConcat(g.Col, swapped)
+
+	// Step 3: local multiply with a sparse accumulator.
+	var touched []Entry
+	if m.dcsc != nil {
+		touched = m.LocalSpMSpVDCSC(m.dcsc, xj, sr)
+	} else {
+		touched = m.localSpMSpV(xj, sr)
+	}
+
+	// Step 4: route outputs to their owners along the processor row.
+	send := make([][]Entry, g.Pc)
+	for _, e := range touched {
+		j := 0
+		lo := m.RowLo
+		ln := m.RowHi - m.RowLo
+		if ln > 0 {
+			j = (e.Ind - lo) * g.Pc / ln
+		}
+		for j > 0 && e.Ind < m.D.SubStart(g.MyRow, j) {
+			j--
+		}
+		for j < g.Pc-1 && e.Ind >= m.D.SubStart(g.MyRow, j+1) {
+			j++
+		}
+		send[j] = append(send[j], e)
+	}
+	recv := comm.AllToAllv(g.Row, send)
+	out := NewSpV(m.D)
+	mergeEntries(recv, &out.Loc, sr)
+	var merged int64
+	for _, r := range recv {
+		merged += int64(len(r))
+	}
+	g.World.Stats().AddWork(int64(len(touched)) + merged)
+	return out
+}
+
+// LocalSpMSpVCSC runs the default local CSC kernel directly on a frontier
+// segment (global column indices). Exposed for the format ablation, which
+// compares it against LocalSpMSpVCSRScan.
+func (m *Mat) LocalSpMSpVCSC(xj []Entry, sr semiring.Semiring) []Entry {
+	return m.localSpMSpV(xj, sr)
+}
+
+// localSpMSpV runs the CSC kernel: for every frontier entry, scan its matrix
+// column and accumulate with the semiring. Returns index-sorted entries with
+// global row indices.
+func (m *Mat) localSpMSpV(xj []Entry, sr semiring.Semiring) []Entry {
+	var touchedRows []int
+	work := int64(len(xj))
+	for _, e := range xj {
+		lcol := e.Ind - m.ColLo
+		col := m.Block.Column(lcol)
+		work += int64(len(col))
+		prod := sr.Multiply(e.Val)
+		for _, lrow := range col {
+			if !m.spaMark[lrow] {
+				m.spaMark[lrow] = true
+				m.spaVal[lrow] = sr.Add(sr.Identity(), prod)
+				touchedRows = append(touchedRows, lrow)
+			} else {
+				m.spaVal[lrow] = sr.Add(m.spaVal[lrow], prod)
+			}
+		}
+	}
+	sortInts(touchedRows)
+	out := make([]Entry, len(touchedRows))
+	for k, lrow := range touchedRows {
+		out[k] = Entry{Ind: m.RowLo + lrow, Val: m.spaVal[lrow]}
+		m.spaMark[lrow] = false
+	}
+	work += sortCost(len(touchedRows)) + int64(len(touchedRows))
+	m.D.G.World.Stats().AddWork(work)
+	return out
+}
+
+// LocalSpMSpVCSRScan is the row-scan alternative kernel used by the
+// format ablation: it walks every local row and probes the frontier by
+// binary search, the natural CSR formulation. It is asymptotically worse for
+// very sparse frontiers — the reason the paper picked CSC (§IV-A).
+func (m *Mat) LocalSpMSpVCSRScan(csr *spmat.CSR, xj []Entry, sr semiring.Semiring) []Entry {
+	var out []Entry
+	work := int64(0)
+	for lrow := 0; lrow < csr.N; lrow++ {
+		row := csr.Row(lrow)
+		work += int64(len(row))
+		acc := sr.Identity()
+		hit := false
+		for _, lcol := range row {
+			if e, ok := findEntry(xj, m.ColLo+lcol); ok {
+				acc = sr.Add(acc, sr.Multiply(e.Val))
+				hit = true
+			}
+		}
+		if hit {
+			out = append(out, Entry{Ind: m.RowLo + lrow, Val: acc})
+		}
+	}
+	m.D.G.World.Stats().AddWork(work)
+	return out
+}
+
+func findEntry(xs []Entry, ind int) (Entry, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid].Ind < ind {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo].Ind == ind {
+		return xs[lo], true
+	}
+	return Entry{}, false
+}
+
+func packEntries(s *spvec.Sp) []Entry {
+	out := make([]Entry, s.Len())
+	for k := range s.Ind {
+		out[k] = Entry{Ind: s.Ind[k], Val: s.Val[k]}
+	}
+	return out
+}
+
+// mergeEntries k-way merges index-sorted entry lists into dst, combining
+// duplicates with the semiring's addition.
+func mergeEntries(lists [][]Entry, dst *spvec.Sp, sr semiring.Semiring) {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return
+	}
+	all := make([]Entry, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sortEntries(all)
+	for _, e := range all {
+		if n := dst.Len(); n > 0 && dst.Ind[n-1] == e.Ind {
+			dst.Val[n-1] = sr.Add(dst.Val[n-1], e.Val)
+		} else {
+			dst.Append(e.Ind, e.Val)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package distmat
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/spvec"
+)
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func sortEntries(xs []Entry) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Ind < xs[j].Ind })
+}
+
+// sortCost returns the modelled work of comparison-sorting n elements.
+func sortCost(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return int64(n * l)
+}
+
+// SortPerm implements the distributed SORTPERM primitive of §IV-B. Input:
+// the next frontier lnext, whose values are parent labels, and the degree
+// vector deg; nv is the number of vertices labeled so far. It returns the
+// distributed sparse vector Rnext assigning to every vertex of lnext its new
+// label nv + rank-in-sorted-order, where the order is lexicographic by
+// (parent label, degree, vertex id).
+//
+// Following the paper, processor i is responsible for sorting the tuples
+// whose parent labels fall in the i-th slice of the parent-label range (the
+// labels of the previous frontier are contiguous, so this is a balanced
+// bucket sort). One AllToAllv exchanges the tuples, a local sort orders each
+// bucket, an exclusive scan turns bucket offsets into global positions, and
+// a second AllToAllv returns (vertex, label) pairs to the vertex owners.
+func SortPerm(lnext *SpV, deg *Vec, nv int64) *SpV {
+	g := lnext.D.G
+	world := g.World
+	p := world.Size()
+
+	// Local tuples.
+	tuples := make([]spvec.Tuple, lnext.Loc.Len())
+	for k, i := range lnext.Loc.Ind {
+		tuples[k] = spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i}
+	}
+	world.Stats().AddWork(int64(len(tuples)))
+
+	// Parent-label range across all ranks (the labels assigned to the
+	// previous frontier are contiguous, but we recompute the bounds to be
+	// robust for degenerate frontiers).
+	localMin, localMax := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, t := range tuples {
+		if t.Parent < localMin {
+			localMin = t.Parent
+		}
+		if t.Parent > localMax {
+			localMax = t.Parent
+		}
+	}
+	minP := comm.AllReduce(world, localMin, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	maxP := comm.AllReduce(world, localMax, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+
+	// Bucket by parent label and exchange.
+	send := make([][]spvec.Tuple, p)
+	span := maxP - minP + 1
+	for _, t := range tuples {
+		b := 0
+		if span > 0 && maxP >= minP {
+			b = int((t.Parent - minP) * int64(p) / span)
+			if b >= p {
+				b = p - 1
+			}
+		}
+		send[b] = append(send[b], t)
+	}
+	recv := comm.AllToAllv(world, send)
+
+	mine := make([]spvec.Tuple, 0)
+	for _, r := range recv {
+		mine = append(mine, r...)
+	}
+	spvec.SortTuples(mine)
+	world.Stats().AddWork(sortCost(len(mine)))
+
+	// Global positions: buckets are ordered by parent label, which matches
+	// rank order, so an exclusive prefix sum of bucket sizes gives each
+	// bucket's starting position.
+	offset, _ := comm.ExScan(world, int64(len(mine)))
+
+	// Route (vertex, label) pairs back to the vertex owners.
+	back := make([][]Entry, p)
+	for k, t := range mine {
+		owner := lnext.D.OwnerOf(t.Vertex)
+		back[owner] = append(back[owner], Entry{Ind: t.Vertex, Val: nv + offset + int64(k)})
+	}
+	world.Stats().AddWork(int64(len(mine)))
+	got := comm.AllToAllv(world, back)
+
+	out := NewSpV(lnext.D)
+	var all []Entry
+	for _, r := range got {
+		all = append(all, r...)
+	}
+	sortEntries(all)
+	world.Stats().AddWork(sortCost(len(all)))
+	for _, e := range all {
+		out.Loc.Append(e.Ind, e.Val)
+	}
+	return out
+}
+
+// SortPermLocal is the "local sort only" ablation (the paper's §VI future
+// work: trade ordering quality for the global AllToAll). Every rank sorts
+// its local slice of the frontier by (parent, degree, vertex) and labels it
+// within the rank-contiguous range offset by the exclusive scan of local
+// counts. No tuple exchange takes place, so vertices are only ordered
+// correctly relative to frontier entries on the same rank.
+func SortPermLocal(lnext *SpV, deg *Vec, nv int64) *SpV {
+	world := lnext.D.G.World
+	tuples := make([]spvec.Tuple, lnext.Loc.Len())
+	for k, i := range lnext.Loc.Ind {
+		tuples[k] = spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i}
+	}
+	spvec.SortTuples(tuples)
+	world.Stats().AddWork(int64(len(tuples)) + sortCost(len(tuples)))
+	offset, _ := comm.ExScan(world, int64(len(tuples)))
+	out := NewSpV(lnext.D)
+	ord := make([]Entry, len(tuples))
+	for k, t := range tuples {
+		ord[k] = Entry{Ind: t.Vertex, Val: nv + offset + int64(k)}
+	}
+	sortEntries(ord)
+	for _, e := range ord {
+		out.Loc.Append(e.Ind, e.Val)
+	}
+	return out
+}
+
+// SortPermNone is the "no sorting" ablation: vertices are labeled in index
+// order within each rank (discovery order), skipping the degree ordering
+// entirely.
+func SortPermNone(lnext *SpV, nv int64) *SpV {
+	world := lnext.D.G.World
+	offset, _ := comm.ExScan(world, int64(lnext.Loc.Len()))
+	out := NewSpV(lnext.D)
+	for k, i := range lnext.Loc.Ind {
+		out.Loc.Append(i, nv+offset+int64(k))
+	}
+	world.Stats().AddWork(int64(lnext.Loc.Len()))
+	return out
+}
+
+// DegreeVec computes the distributed degree vector D of the graph G(A):
+// every rank counts the off-diagonal entries of its block per local row and
+// the counts are reduce-scattered along the processor row so each rank ends
+// up with the degrees of its own vector chunk. Collective.
+func DegreeVec(m *Mat) *Vec {
+	g := m.D.G
+	local := make([]int64, m.RowHi-m.RowLo)
+	for lcol := 0; lcol < m.Block.Cols; lcol++ {
+		gcol := m.ColLo + lcol
+		for _, lrow := range m.Block.Column(lcol) {
+			if m.RowLo+lrow != gcol {
+				local[lrow]++
+			}
+		}
+	}
+	g.World.Stats().AddWork(int64(m.Block.NNZ()))
+
+	// Reduce-scatter along the processor row: slice local counts by the
+	// sub-chunk boundaries of this row block and exchange.
+	send := make([][]int64, g.Pc)
+	for j := 0; j < g.Pc; j++ {
+		lo := m.D.SubStart(g.MyRow, j) - m.RowLo
+		hi := len(local)
+		if j < g.Pc-1 {
+			hi = m.D.SubStart(g.MyRow, j+1) - m.RowLo
+		}
+		send[j] = local[lo:hi]
+	}
+	recv := comm.AllToAllv(g.Row, send)
+	out := NewVec(m.D, 0)
+	for _, piece := range recv {
+		for k, v := range piece {
+			out.Data[k] += v
+		}
+		g.World.Stats().AddWork(int64(len(piece)))
+	}
+	return out
+}

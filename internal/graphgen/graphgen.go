@@ -1,0 +1,297 @@
+// Package graphgen generates the sparse matrices the experiments run on.
+//
+// The paper evaluates on nine matrices from the University of Florida
+// collection plus two nuclear configuration-interaction matrices, none of
+// which can be downloaded in this offline environment. The generators here
+// produce synthetic analogs matched on the structural features that drive
+// the distributed RCM algorithm's behaviour: the pseudo-diameter (the
+// number of level-synchronous BFS steps, i.e. the latency-bound critical
+// path), the nonzeros per row (the per-step bandwidth term), and a large
+// pre-RCM bandwidth (obtained by randomly scrambling the natural ordering,
+// which is also the load-balancing permutation of §IV-A). See Suite for the
+// per-matrix mapping.
+package graphgen
+
+import (
+	"math/rand"
+
+	"repro/internal/spmat"
+)
+
+// Grid2D returns the pattern of a 2D nx×ny grid graph with the 5-point
+// stencil (the graph of the standard Laplacian), as a symmetric matrix with
+// unit off-diagonals and diagonal = degree + 1 (SPD, for the CG
+// experiments).
+func Grid2D(nx, ny int) *spmat.CSR { return grid2DStencil(nx, ny, false) }
+
+// Grid2DShifted returns the 5-point Laplacian with diagonal degree + shift.
+// Small shifts give the κ ~ h⁻² conditioning of a real thermal problem
+// (thermal2 in Fig. 1), where preconditioner quality visibly changes CG
+// iteration counts; Grid2D's shift of 1 is kept for well-conditioned test
+// matrices.
+func Grid2DShifted(nx, ny int, shift float64) *spmat.CSR {
+	a := grid2DStencil(nx, ny, false)
+	out := &spmat.CSR{N: a.N, RowPtr: a.RowPtr, Col: a.Col, Val: append([]float64(nil), a.Val...)}
+	for i := 0; i < a.N; i++ {
+		vals := out.Val[out.RowPtr[i]:out.RowPtr[i+1]]
+		for k, j := range out.Col[out.RowPtr[i]:out.RowPtr[i+1]] {
+			if j == i {
+				vals[k] = vals[k] - 1 + shift
+			}
+		}
+	}
+	return out
+}
+
+// Grid2D9 returns the 9-point (Moore neighbourhood) 2D grid.
+func Grid2D9(nx, ny int) *spmat.CSR { return grid2DStencil(nx, ny, true) }
+
+func grid2DStencil(nx, ny int, moore bool) *spmat.CSR {
+	n := nx * ny
+	id := func(x, y int) int { return y*nx + x }
+	entries := make([]spmat.Coord, 0, n*(5+4*btoi(moore)))
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := id(x, y)
+			deg := 0.0
+			add := func(x2, y2 int) {
+				if x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny {
+					return
+				}
+				entries = append(entries, spmat.Coord{Row: v, Col: id(x2, y2), Val: -1})
+				deg++
+			}
+			add(x-1, y)
+			add(x+1, y)
+			add(x, y-1)
+			add(x, y+1)
+			if moore {
+				add(x-1, y-1)
+				add(x+1, y-1)
+				add(x-1, y+1)
+				add(x+1, y+1)
+			}
+			entries = append(entries, spmat.Coord{Row: v, Col: v, Val: deg + 1})
+		}
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// Grid3D returns the pattern of a 3D nx×ny×nz grid graph with a box stencil
+// of the given radius: radius 1 is the 27-point stencil (7-point when
+// faceOnly is true). Off-diagonals are -1 and the diagonal is degree + 1.
+func Grid3D(nx, ny, nz, radius int, faceOnly bool) *spmat.CSR {
+	n := nx * ny * nz
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	var entries []spmat.Coord
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				deg := 0.0
+				if faceOnly {
+					for _, dxyz := range [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+						x2, y2, z2 := x+dxyz[0], y+dxyz[1], z+dxyz[2]
+						if x2 >= 0 && x2 < nx && y2 >= 0 && y2 < ny && z2 >= 0 && z2 < nz {
+							entries = append(entries, spmat.Coord{Row: v, Col: id(x2, y2, z2), Val: -1})
+							deg++
+						}
+					}
+				} else {
+					for dz := -radius; dz <= radius; dz++ {
+						for dy := -radius; dy <= radius; dy++ {
+							for dx := -radius; dx <= radius; dx++ {
+								if dx == 0 && dy == 0 && dz == 0 {
+									continue
+								}
+								x2, y2, z2 := x+dx, y+dy, z+dz
+								if x2 >= 0 && x2 < nx && y2 >= 0 && y2 < ny && z2 >= 0 && z2 < nz {
+									entries = append(entries, spmat.Coord{Row: v, Col: id(x2, y2, z2), Val: -1})
+									deg++
+								}
+							}
+						}
+					}
+				}
+				entries = append(entries, spmat.Coord{Row: v, Col: v, Val: deg + 1})
+			}
+		}
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// RandomRegular returns a symmetric pattern where every vertex picks deg
+// random neighbours (union of both directions, so actual degrees are close
+// to 2·deg·(1-overlap)). Such graphs have very small diameter — the analog
+// of the nuclear configuration-interaction matrices (Li7Nmax6, Nm7) whose
+// pseudo-diameters are 5–7.
+func RandomRegular(n, deg int, seed int64) *spmat.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]spmat.Coord, 0, n*(deg*2+1))
+	for v := 0; v < n; v++ {
+		for k := 0; k < deg; k++ {
+			w := rng.Intn(n)
+			if w == v {
+				continue
+			}
+			entries = append(entries, spmat.Coord{Row: v, Col: w, Val: -1})
+			entries = append(entries, spmat.Coord{Row: w, Col: v, Val: -1})
+		}
+		entries = append(entries, spmat.Coord{Row: v, Col: v, Val: float64(2*deg + 1)})
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// KKT composes the saddle-point pattern [[H, Jᵀ], [J, D]] from a base graph
+// H (n×n), with J = I + S where S couples constraint i to variable (i+1)
+// mod n. This mimics the structure of the nlpkkt family: an optimization
+// KKT system over a 3D-grid-structured Hessian, roughly doubling the
+// dimension and inheriting the grid's high diameter.
+func KKT(h *spmat.CSR) *spmat.CSR {
+	n := h.N
+	var entries []spmat.Coord
+	for i := 0; i < n; i++ {
+		vals := h.RowVals(i)
+		for k, j := range h.Row(i) {
+			v := -1.0
+			if vals != nil {
+				v = vals[k]
+			}
+			entries = append(entries, spmat.Coord{Row: i, Col: j, Val: v})
+		}
+	}
+	couple := func(c, v int) {
+		entries = append(entries, spmat.Coord{Row: n + c, Col: v, Val: -1})
+		entries = append(entries, spmat.Coord{Row: v, Col: n + c, Val: -1})
+	}
+	for c := 0; c < n; c++ {
+		couple(c, c)
+		couple(c, (c+1)%n)
+		entries = append(entries, spmat.Coord{Row: n + c, Col: n + c, Val: 4})
+	}
+	return spmat.FromCoords(2*n, entries, false)
+}
+
+// Scramble applies a random symmetric permutation QAQᵀ, destroying any
+// natural banded ordering: the generated analogs get their large pre-RCM
+// bandwidths this way, playing the role of the "original ordering" column
+// in the paper's Fig. 3. It returns the scrambled matrix and the
+// permutation used (new→old, symrcm convention).
+func Scramble(a *spmat.CSR, seed int64) (*spmat.CSR, []int) {
+	perm := RandPerm(a.N, seed)
+	return a.Permute(perm), perm
+}
+
+// RandPerm returns a seeded random permutation (new→old convention).
+func RandPerm(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}
+
+// Path returns a path graph of n vertices (pattern), the extreme
+// high-diameter case used in tests.
+func Path(n int) *spmat.CSR {
+	var entries []spmat.Coord
+	for v := 0; v+1 < n; v++ {
+		entries = append(entries, spmat.Coord{Row: v, Col: v + 1, Val: -1})
+		entries = append(entries, spmat.Coord{Row: v + 1, Col: v, Val: -1})
+	}
+	for v := 0; v < n; v++ {
+		entries = append(entries, spmat.Coord{Row: v, Col: v, Val: 3})
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// Star returns a star graph with center 0 and n-1 leaves.
+func Star(n int) *spmat.CSR {
+	var entries []spmat.Coord
+	for v := 1; v < n; v++ {
+		entries = append(entries, spmat.Coord{Row: 0, Col: v, Val: -1})
+		entries = append(entries, spmat.Coord{Row: v, Col: 0, Val: -1})
+	}
+	for v := 0; v < n; v++ {
+		entries = append(entries, spmat.Coord{Row: v, Col: v, Val: float64(n)})
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int) *spmat.CSR {
+	var entries []spmat.Coord
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -1.0
+			if i == j {
+				v = float64(n)
+			}
+			entries = append(entries, spmat.Coord{Row: i, Col: j, Val: v})
+		}
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// Disconnected returns a block-diagonal union of the given graphs.
+func Disconnected(parts ...*spmat.CSR) *spmat.CSR {
+	n := 0
+	for _, p := range parts {
+		n += p.N
+	}
+	var entries []spmat.Coord
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < p.N; i++ {
+			vals := p.RowVals(i)
+			for k, j := range p.Row(i) {
+				v := 1.0
+				if vals != nil {
+					v = vals[k]
+				}
+				entries = append(entries, spmat.Coord{Row: off + i, Col: off + j, Val: v})
+			}
+		}
+		off += p.N
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+// RMAT returns a symmetrized RMAT power-law graph with 2^scale vertices and
+// about edgeFactor·2^scale edges (Graph500 parameters a=0.57, b=c=0.19),
+// used for stress-testing the ordering pipeline on skewed degree
+// distributions the paper does not cover.
+func RMAT(scale, edgeFactor int, seed int64) *spmat.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	entries := make([]spmat.Coord, 0, 2*m+n)
+	for e := 0; e < m; e++ {
+		r, c := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			p := rng.Float64()
+			switch {
+			case p < 0.57:
+			case p < 0.76:
+				c |= 1 << bit
+			case p < 0.95:
+				r |= 1 << bit
+			default:
+				r |= 1 << bit
+				c |= 1 << bit
+			}
+		}
+		if r != c {
+			entries = append(entries, spmat.Coord{Row: r, Col: c, Val: -1})
+			entries = append(entries, spmat.Coord{Row: c, Col: r, Val: -1})
+		}
+	}
+	for v := 0; v < n; v++ {
+		entries = append(entries, spmat.Coord{Row: v, Col: v, Val: 1})
+	}
+	return spmat.FromCoords(n, entries, false)
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

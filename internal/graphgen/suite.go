@@ -1,0 +1,163 @@
+package graphgen
+
+import "repro/internal/spmat"
+
+// SuiteEntry is one matrix of the paper's evaluation suite (Fig. 3),
+// together with the paper-reported reference numbers and a generator for
+// the synthetic analog. Build(scale) divides the linear dimensions by scale
+// (scale 1 is the full analog, larger scales give proportionally smaller
+// matrices for fast tests). The generated matrix is randomly scrambled with
+// a fixed seed, which (a) produces the large "original ordering" bandwidth
+// of Fig. 3 and (b) doubles as the load-balancing random permutation of
+// §IV-A.
+type SuiteEntry struct {
+	Name        string
+	Description string
+	// Paper-reported reference values (Fig. 3).
+	PaperN      int
+	PaperNNZ    int64
+	PaperBWPre  int
+	PaperBWPost int
+	PaperDiam   int
+	// Build generates the scrambled analog at the given scale.
+	Build func(scale int) *spmat.CSR
+}
+
+func dim(d, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	v := d / scale
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// Suite returns the nine-matrix analog suite, in the order of Fig. 3.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{
+			Name:        "nd24k",
+			Description: "3D mesh problem; dense rows, very low diameter (analog: radius-2 box stencil)",
+			PaperN:      72000, PaperNNZ: 29_000_000, PaperBWPre: 68114, PaperBWPost: 10294, PaperDiam: 14,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(26, s), dim(20, s), dim(16, s), 2, false)
+				sc, _ := Scramble(a, 1001)
+				return sc
+			},
+		},
+		{
+			Name:        "ldoor",
+			Description: "structural problem; high diameter (analog: long thin 3D plate, 27-point)",
+			PaperN:      952203, PaperNNZ: 42_490_000, PaperBWPre: 686979, PaperBWPost: 9259, PaperDiam: 178,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(180, s), dim(60, s), dim(10, s), 1, false)
+				sc, _ := Scramble(a, 1002)
+				return sc
+			},
+		},
+		{
+			Name:        "Serena",
+			Description: "gas reservoir simulation (analog: 3D 27-point box)",
+			PaperN:      1391349, PaperNNZ: 64_100_000, PaperBWPre: 81578, PaperBWPost: 81218, PaperDiam: 58,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(58, s), dim(42, s), dim(38, s), 1, false)
+				sc, _ := Scramble(a, 1003)
+				return sc
+			},
+		},
+		{
+			Name:        "audikw_1",
+			Description: "structural problem (analog: 3D 27-point box, medium diameter)",
+			PaperN:      943695, PaperNNZ: 78_000_000, PaperBWPre: 925946, PaperBWPost: 35170, PaperDiam: 82,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(85, s), dim(35, s), dim(30, s), 1, false)
+				sc, _ := Scramble(a, 1004)
+				return sc
+			},
+		},
+		{
+			Name:        "dielFilterV3real",
+			Description: "higher-order finite element (analog: 3D 27-point box)",
+			PaperN:      1102824, PaperNNZ: 89_300_000, PaperBWPre: 1036475, PaperBWPost: 23813, PaperDiam: 84,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(84, s), dim(38, s), dim(29, s), 1, false)
+				sc, _ := Scramble(a, 1005)
+				return sc
+			},
+		},
+		{
+			Name:        "Flan_1565",
+			Description: "3D model of a steel flange; highest diameter of the suite (analog: long bar)",
+			PaperN:      1564794, PaperNNZ: 114_000_000, PaperBWPre: 20702, PaperBWPost: 20600, PaperDiam: 199,
+			Build: func(s int) *spmat.CSR {
+				a := Grid3D(dim(200, s), dim(21, s), dim(21, s), 1, false)
+				sc, _ := Scramble(a, 1006)
+				return sc
+			},
+		},
+		{
+			Name:        "Li7Nmax6",
+			Description: "nuclear configuration interaction; near-flat level structure (analog: random graph)",
+			PaperN:      663526, PaperNNZ: 212_000_000, PaperBWPre: 663498, PaperBWPost: 490000, PaperDiam: 7,
+			Build: func(s int) *spmat.CSR {
+				n := 40000 / (s * s)
+				if n < 64 {
+					n = 64
+				}
+				a := RandomRegular(n, 16, 2007)
+				sc, _ := Scramble(a, 1007)
+				return sc
+			},
+		},
+		{
+			Name:        "Nm7",
+			Description: "nuclear configuration interaction, larger (analog: random graph)",
+			PaperN:      4008490, PaperNNZ: 437_000_000, PaperBWPre: 4073382, PaperBWPost: 3692599, PaperDiam: 5,
+			Build: func(s int) *spmat.CSR {
+				n := 60000 / (s * s)
+				if n < 64 {
+					n = 64
+				}
+				a := RandomRegular(n, 12, 2008)
+				sc, _ := Scramble(a, 1008)
+				return sc
+			},
+		},
+		{
+			Name:        "nlpkkt240",
+			Description: "symmetric indefinite KKT matrix (analog: KKT over a long 3D grid)",
+			PaperN:      77998517, PaperNNZ: 760_000_000, PaperBWPre: 14169841, PaperBWPost: 361755, PaperDiam: 243,
+			Build: func(s int) *spmat.CSR {
+				h := Grid3D(dim(160, s), dim(20, s), dim(14, s), 1, false)
+				a := KKT(h)
+				sc, _ := Scramble(a, 1009)
+				return sc
+			},
+		},
+	}
+}
+
+// SuiteByName returns the entry with the given name, or nil.
+func SuiteByName(name string) *SuiteEntry {
+	for _, e := range Suite() {
+		if e.Name == name {
+			entry := e
+			return &entry
+		}
+	}
+	return nil
+}
+
+// Thermal2 builds the analog of the thermal2 matrix used in Fig. 1 (a
+// thermal FEM problem solved with CG + block Jacobi): a 2D 5-point grid
+// with a small diagonal shift — the κ ~ h⁻² conditioning of a parabolic
+// FEM problem, where preconditioner strength matters — randomly scrambled
+// so the "natural" ordering has the near-full bandwidth the paper reports
+// (1,226,000 for n = 1.2M). scale divides the linear dimension.
+func Thermal2(scale int) *spmat.CSR {
+	a := Grid2DShifted(dim(300, scale), dim(300, scale), 0.05)
+	sc, _ := Scramble(a, 42)
+	return sc
+}

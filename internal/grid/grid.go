@@ -1,0 +1,159 @@
+// Package grid implements the 2D processor grid of the CombBLAS-style
+// decomposition (§IV-A of the paper): p processes arranged as pr×pc,
+// process P(i,j) owning the submatrix block A_ij, with row and column
+// sub-communicators for the SpMSpV exchanges. Vectors are distributed in the
+// canonical layout where P(i,j) owns sub-chunk j of row block i, so that all
+// element-wise vector primitives are communication-free and SpMSpV needs
+// exactly the transpose-exchange → column-allgather → row-alltoall pipeline.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Grid is one rank's view of the 2D processor grid.
+type Grid struct {
+	Pr, Pc       int
+	MyRow, MyCol int
+	// World is the communicator spanning the whole grid; Row spans the
+	// ranks of this rank's grid row (ordered by column), Col spans the
+	// ranks of this rank's grid column (ordered by row).
+	World, Row, Col *comm.Comm
+}
+
+// New builds a pr×pc grid over the communicator. The world size must equal
+// pr·pc; rank r maps to P(r/pc, r%pc). Every rank must call New
+// collectively.
+func New(world *comm.Comm, pr, pc int) *Grid {
+	if pr*pc != world.Size() {
+		panic(fmt.Sprintf("grid: %d×%d grid needs %d ranks, world has %d", pr, pc, pr*pc, world.Size()))
+	}
+	i := world.Rank() / pc
+	j := world.Rank() % pc
+	g := &Grid{Pr: pr, Pc: pc, MyRow: i, MyCol: j, World: world}
+	g.Row = world.Split(i, j) // same grid row, ranked by column
+	g.Col = world.Split(j, i) // same grid column, ranked by row
+	return g
+}
+
+// Square builds a √p×√p grid; the world size must be a perfect square (the
+// paper's implementation has the same restriction, §V-A).
+func Square(world *comm.Comm) *Grid {
+	q := isqrt(world.Size())
+	if q*q != world.Size() {
+		panic(fmt.Sprintf("grid: world size %d is not a perfect square", world.Size()))
+	}
+	return New(world, q, q)
+}
+
+func isqrt(n int) int {
+	q := 0
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q
+}
+
+// RankOf returns the world rank of P(i, j).
+func (g *Grid) RankOf(i, j int) int { return i*g.Pc + j }
+
+// TransposeRank returns the world rank of this rank's transpose partner
+// P(j, i). It requires a square grid.
+func (g *Grid) TransposeRank() int {
+	if g.Pr != g.Pc {
+		panic("grid: transpose partner undefined on a rectangular grid")
+	}
+	return g.RankOf(g.MyCol, g.MyRow)
+}
+
+// Dist describes the distribution of length-n vectors (and the conforming
+// matrix blocking) over the grid.
+type Dist struct {
+	N int
+	G *Grid
+}
+
+// NewDist binds a vector length to the grid.
+func NewDist(g *Grid, n int) *Dist {
+	if n < 0 {
+		panic("grid: negative vector length")
+	}
+	return &Dist{N: n, G: g}
+}
+
+// RowStart returns the first global row of row block i (balanced split).
+func (d *Dist) RowStart(i int) int { return i * d.N / d.G.Pr }
+
+// ColStart returns the first global column of column block j.
+func (d *Dist) ColStart(j int) int { return j * d.N / d.G.Pc }
+
+// SubStart returns the first global index of sub-chunk j within row block i
+// (the vector piece owned by P(i, j)).
+func (d *Dist) SubStart(i, j int) int {
+	lo := d.RowStart(i)
+	ln := d.RowStart(i+1) - lo
+	return lo + j*ln/d.G.Pc
+}
+
+// MyRange returns the global [lo, hi) range of the calling rank's vector
+// chunk.
+func (d *Dist) MyRange() (lo, hi int) {
+	return d.SubStart(d.G.MyRow, d.G.MyCol), subEnd(d, d.G.MyRow, d.G.MyCol)
+}
+
+func subEnd(d *Dist, i, j int) int {
+	if j == d.G.Pc-1 {
+		return d.RowStart(i + 1)
+	}
+	return d.SubStart(i, j+1)
+}
+
+// BlockOf returns the row block index owning global index v.
+func (d *Dist) BlockOf(v int) int {
+	if v < 0 || v >= d.N {
+		panic(fmt.Sprintf("grid: index %d outside vector of length %d", v, d.N))
+	}
+	i := 0
+	if d.N > 0 {
+		i = v * d.G.Pr / d.N
+	}
+	for i > 0 && v < d.RowStart(i) {
+		i--
+	}
+	for i < d.G.Pr-1 && v >= d.RowStart(i+1) {
+		i++
+	}
+	return i
+}
+
+// OwnerOf returns the world rank owning global vector index v.
+func (d *Dist) OwnerOf(v int) int {
+	i := d.BlockOf(v)
+	j := 0
+	lo := d.RowStart(i)
+	ln := d.RowStart(i+1) - lo
+	if ln > 0 {
+		j = (v - lo) * d.G.Pc / ln
+	}
+	for j > 0 && v < d.SubStart(i, j) {
+		j--
+	}
+	for j < d.G.Pc-1 && v >= d.SubStart(i, j+1) {
+		j++
+	}
+	return d.G.RankOf(i, j)
+}
+
+// MyRowRange returns the global row range [lo, hi) of the matrix block owned
+// by the calling rank.
+func (d *Dist) MyRowRange() (lo, hi int) {
+	return d.RowStart(d.G.MyRow), d.RowStart(d.G.MyRow + 1)
+}
+
+// MyColRange returns the global column range [lo, hi) of the matrix block
+// owned by the calling rank.
+func (d *Dist) MyColRange() (lo, hi int) {
+	return d.ColStart(d.G.MyCol), d.ColStart(d.G.MyCol + 1)
+}

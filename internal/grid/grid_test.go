@@ -1,0 +1,173 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestSquareGridShape(t *testing.T) {
+	for _, p := range []int{1, 4, 9, 16} {
+		comm.Run(p, nil, func(c *comm.Comm) {
+			g := Square(c)
+			q := g.Pr
+			if q*q != p || g.Pc != q {
+				t.Errorf("p=%d: grid %dx%d", p, g.Pr, g.Pc)
+			}
+			if g.MyRow != c.Rank()/q || g.MyCol != c.Rank()%q {
+				t.Errorf("p=%d rank=%d: position (%d,%d)", p, c.Rank(), g.MyRow, g.MyCol)
+			}
+			if g.Row.Size() != q || g.Col.Size() != q {
+				t.Errorf("p=%d: subcomm sizes %d,%d", p, g.Row.Size(), g.Col.Size())
+			}
+			if g.Row.Rank() != g.MyCol || g.Col.Rank() != g.MyRow {
+				t.Errorf("p=%d: subcomm ranks %d,%d", p, g.Row.Rank(), g.Col.Rank())
+			}
+		})
+	}
+}
+
+func TestSquareNonSquarePanics(t *testing.T) {
+	comm.Run(2, nil, func(c *comm.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		Square(c)
+	})
+}
+
+func TestNewRectangular(t *testing.T) {
+	comm.Run(6, nil, func(c *comm.Comm) {
+		g := New(c, 2, 3)
+		if g.Row.Size() != 3 || g.Col.Size() != 2 {
+			t.Errorf("subcomm sizes %d,%d", g.Row.Size(), g.Col.Size())
+		}
+	})
+}
+
+func TestNewWrongSizePanics(t *testing.T) {
+	comm.Run(4, nil, func(c *comm.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		New(c, 2, 3)
+	})
+}
+
+func TestRankOfAndTranspose(t *testing.T) {
+	comm.Run(9, nil, func(c *comm.Comm) {
+		g := Square(c)
+		if g.RankOf(g.MyRow, g.MyCol) != c.Rank() {
+			t.Error("RankOf inconsistent")
+		}
+		tp := g.TransposeRank()
+		want := g.MyCol*3 + g.MyRow
+		if tp != want {
+			t.Errorf("transpose of (%d,%d) = %d, want %d", g.MyRow, g.MyCol, tp, want)
+		}
+		if g.MyRow == g.MyCol && tp != c.Rank() {
+			t.Error("diagonal rank not self-transpose")
+		}
+	})
+}
+
+func TestTransposeRankRectangularPanics(t *testing.T) {
+	comm.Run(6, nil, func(c *comm.Comm) {
+		g := New(c, 2, 3)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		g.TransposeRank()
+	})
+}
+
+func TestDistBlockBoundaries(t *testing.T) {
+	comm.Run(4, nil, func(c *comm.Comm) {
+		g := Square(c)
+		d := NewDist(g, 10)
+		if d.RowStart(0) != 0 || d.RowStart(g.Pr) != 10 {
+			t.Errorf("row starts: %d..%d", d.RowStart(0), d.RowStart(g.Pr))
+		}
+		// Row blocks are contiguous and non-overlapping.
+		for i := 0; i < g.Pr; i++ {
+			if d.RowStart(i) > d.RowStart(i+1) {
+				t.Errorf("row block %d inverted", i)
+			}
+		}
+		rl, rh := d.MyRowRange()
+		cl, ch := d.MyColRange()
+		if rl != d.RowStart(g.MyRow) || rh != d.RowStart(g.MyRow+1) {
+			t.Errorf("row range (%d,%d)", rl, rh)
+		}
+		if cl != d.ColStart(g.MyCol) || ch != d.ColStart(g.MyCol+1) {
+			t.Errorf("col range (%d,%d)", cl, ch)
+		}
+	})
+}
+
+func TestDistSubChunksTileRowBlocks(t *testing.T) {
+	comm.Run(9, nil, func(c *comm.Comm) {
+		g := Square(c)
+		for _, n := range []int{1, 3, 9, 10, 31} {
+			d := NewDist(g, n)
+			for i := 0; i < g.Pr; i++ {
+				if d.SubStart(i, 0) != d.RowStart(i) {
+					t.Errorf("n=%d: sub 0 of block %d misaligned", n, i)
+				}
+			}
+			lo, hi := d.MyRange()
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("n=%d: my range (%d,%d)", n, lo, hi)
+			}
+		}
+	})
+}
+
+func TestBlockOfAndOwnerOf(t *testing.T) {
+	comm.Run(9, nil, func(c *comm.Comm) {
+		g := Square(c)
+		for _, n := range []int{9, 13, 50} {
+			d := NewDist(g, n)
+			for v := 0; v < n; v++ {
+				b := d.BlockOf(v)
+				if v < d.RowStart(b) || v >= d.RowStart(b+1) {
+					t.Errorf("n=%d: BlockOf(%d) = %d with range [%d,%d)", n, v, b, d.RowStart(b), d.RowStart(b+1))
+				}
+				o := d.OwnerOf(v)
+				if o < 0 || o >= c.Size() {
+					t.Errorf("n=%d: OwnerOf(%d) = %d", n, v, o)
+				}
+			}
+		}
+	})
+}
+
+func TestBlockOfOutOfRangePanics(t *testing.T) {
+	comm.Run(1, nil, func(c *comm.Comm) {
+		d := NewDist(Square(c), 5)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		d.BlockOf(5)
+	})
+}
+
+func TestNewDistNegativePanics(t *testing.T) {
+	comm.Run(1, nil, func(c *comm.Comm) {
+		g := Square(c)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		NewDist(g, -1)
+	})
+}

@@ -1,0 +1,239 @@
+// Package mmio reads and writes Matrix Market coordinate files, the exchange
+// format of the University of Florida sparse matrix collection the paper
+// draws its test suite from. Supported qualifiers: real, integer and pattern
+// fields; general and symmetric symmetry. Symmetric files are expanded to
+// full storage on read (mirroring the off-diagonal entries), which is what
+// the ordering algorithms expect.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/spmat"
+)
+
+// Header describes the matrix-market banner of a file.
+type Header struct {
+	Field     string // "real", "integer", "pattern"
+	Symmetry  string // "general", "symmetric"
+	Rows      int
+	Cols      int
+	Entries   int // stored entries (before symmetric expansion)
+	Comments  []string
+	Symmetric bool
+}
+
+// Read parses a Matrix Market coordinate stream into a square CSR matrix.
+// Rectangular inputs are rejected: the RCM pipeline is defined on square
+// symmetric matrices. Symmetric storage is expanded.
+func Read(r io.Reader) (*spmat.CSR, *Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("mmio: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" || banner[2] != "coordinate" {
+		return nil, nil, fmt.Errorf("mmio: unsupported banner %q (want %%%%MatrixMarket matrix coordinate ...)", sc.Text())
+	}
+	h := &Header{Field: banner[3], Symmetry: banner[4]}
+	switch h.Field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, nil, fmt.Errorf("mmio: unsupported field %q", h.Field)
+	}
+	switch h.Symmetry {
+	case "general":
+	case "symmetric":
+		h.Symmetric = true
+	default:
+		return nil, nil, fmt.Errorf("mmio: unsupported symmetry %q", h.Symmetry)
+	}
+	// Size line, after comments.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			h.Comments = append(h.Comments, line)
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, nil, fmt.Errorf("mmio: malformed size line %q", line)
+		}
+		var err error
+		if h.Rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad row count: %v", err)
+		}
+		if h.Cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad column count: %v", err)
+		}
+		if h.Entries, err = strconv.Atoi(f[2]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad entry count: %v", err)
+		}
+		break
+	}
+	if h.Rows != h.Cols {
+		return nil, nil, fmt.Errorf("mmio: rectangular matrix %d×%d not supported", h.Rows, h.Cols)
+	}
+	pattern := h.Field == "pattern"
+	entries := make([]spmat.Coord, 0, h.Entries*2)
+	read := 0
+	for sc.Scan() && read < h.Entries {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, nil, fmt.Errorf("mmio: malformed entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad row index: %v", err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad column index: %v", err)
+		}
+		if i < 1 || i > h.Rows || j < 1 || j > h.Cols {
+			return nil, nil, fmt.Errorf("mmio: entry (%d,%d) outside %d×%d", i, j, h.Rows, h.Cols)
+		}
+		v := 1.0
+		if !pattern {
+			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, nil, fmt.Errorf("mmio: bad value: %v", err)
+			}
+		}
+		entries = append(entries, spmat.Coord{Row: i - 1, Col: j - 1, Val: v})
+		if h.Symmetric && i != j {
+			entries = append(entries, spmat.Coord{Row: j - 1, Col: i - 1, Val: v})
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mmio: %v", err)
+	}
+	if read != h.Entries {
+		return nil, nil, fmt.Errorf("mmio: expected %d entries, found %d", h.Entries, read)
+	}
+	return spmat.FromCoords(h.Rows, entries, pattern), h, nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*spmat.CSR, *Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits a in Matrix Market coordinate format. Symmetric patterns are
+// written in symmetric (lower-triangular) storage when symmetric is true;
+// the caller is responsible for the pattern actually being symmetric.
+func Write(w io.Writer, a *spmat.CSR, symmetric bool, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	field := "real"
+	if !a.HasValues() {
+		field = "pattern"
+	}
+	sym := "general"
+	if symmetric {
+		sym = "symmetric"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s %s\n", field, sym)
+	for _, c := range comments {
+		fmt.Fprintf(bw, "%% %s\n", c)
+	}
+	count := 0
+	for i := 0; i < a.N; i++ {
+		for _, j := range a.Row(i) {
+			if symmetric && j > i {
+				continue
+			}
+			count++
+		}
+	}
+	fmt.Fprintf(bw, "%d %d %d\n", a.N, a.N, count)
+	for i := 0; i < a.N; i++ {
+		vals := a.RowVals(i)
+		for k, j := range a.Row(i) {
+			if symmetric && j > i {
+				continue
+			}
+			if a.HasValues() {
+				fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k])
+			} else {
+				fmt.Fprintf(bw, "%d %d\n", i+1, j+1)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a Matrix Market file to disk.
+func WriteFile(path string, a *spmat.CSR, symmetric bool, comments ...string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a, symmetric, comments...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePerm writes a permutation as a one-column text file of 1-based old
+// indices in new order, the common exchange format for ordering vectors.
+func WritePerm(path string, perm []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for _, v := range perm {
+		fmt.Fprintf(bw, "%d\n", v+1)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPerm reads a permutation written by WritePerm.
+func ReadPerm(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var perm []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad permutation entry %q: %v", line, err)
+		}
+		perm = append(perm, v-1)
+	}
+	return perm, sc.Err()
+}

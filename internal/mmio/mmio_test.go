@@ -1,0 +1,187 @@
+package mmio
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/spmat"
+)
+
+func TestReadGeneralReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+1 2 -1.0
+3 3 5.0
+`
+	a, h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 3 || h.Entries != 4 || h.Symmetric {
+		t.Errorf("header = %+v", h)
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz = %d", a.NNZ())
+	}
+	if a.RowVals(0)[0] != 2.0 {
+		t.Errorf("value (0,0) = %f", a.RowVals(0)[0])
+	}
+	if len(h.Comments) != 1 {
+		t.Errorf("comments = %v", h.Comments)
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 4.0
+2 1 -1.0
+`
+	a, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (mirror expanded)", a.NNZ())
+	}
+	if !a.Has(0, 1) || !a.Has(1, 0) {
+		t.Error("mirror entry missing")
+	}
+	if !a.IsSymmetricPattern() {
+		t.Error("expanded matrix not symmetric")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+`
+	a, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasValues() {
+		t.Error("pattern read produced values")
+	}
+	if a.NNZ() != 4 {
+		t.Errorf("nnz = %d", a.NNZ())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad banner":   "%%MatrixMarket matrix array real general\n2 2 1\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n2 2 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 0\n",
+		"rectangular":  "%%MatrixMarket matrix coordinate real general\n2 3 0\n",
+		"short entry":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"missing rows": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+		"bad index":    "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+	}
+	for name, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteReadRoundtripGeneral(t *testing.T) {
+	a := spmat.FromCoords(3, []spmat.Coord{
+		{Row: 0, Col: 0, Val: 2}, {Row: 0, Col: 2, Val: -1}, {Row: 2, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 3},
+	}, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, a, false, "roundtrip test"); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.RowPtr, b.RowPtr) || !reflect.DeepEqual(a.Col, b.Col) || !reflect.DeepEqual(a.Val, b.Val) {
+		t.Errorf("roundtrip mismatch:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestWriteReadRoundtripSymmetric(t *testing.T) {
+	a := spmat.FromCoords(3, []spmat.Coord{
+		{Row: 0, Col: 1, Val: -1}, {Row: 1, Col: 0, Val: -1}, {Row: 2, Col: 2, Val: 4},
+	}, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "symmetric") {
+		t.Error("banner not symmetric")
+	}
+	b, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) {
+		t.Errorf("roundtrip mismatch: %v vs %v", a.Col, b.Col)
+	}
+}
+
+func TestWriteReadPatternRoundtrip(t *testing.T) {
+	a := spmat.FromCoords(2, []spmat.Coord{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1}}, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	b, h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Field != "pattern" || b.HasValues() {
+		t.Error("pattern not preserved")
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) {
+		t.Error("pattern mismatch")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	a := spmat.FromCoords(2, []spmat.Coord{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 2}}, false)
+	if err := WriteFile(path, a, false); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZ() != 2 {
+		t.Errorf("nnz = %d", b.NNZ())
+	}
+	if _, _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestPermFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.perm")
+	perm := []int{2, 0, 1}
+	if err := WritePerm(path, perm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, perm) {
+		t.Errorf("perm roundtrip = %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package psort provides a deterministic parallel merge sort. The
+// shared-memory RCM baseline sorts every BFS level by (parent, degree, id);
+// on large frontiers that sort is the serial bottleneck of the
+// level-synchronous algorithm (Karantasis et al. parallelise it the same
+// way), so it is worth a real parallel implementation rather than a
+// sequential sort.Slice call.
+//
+// The sort is not stable, but for the total orders used here (every
+// comparison chain ends in a unique id) stability is irrelevant and the
+// result is deterministic regardless of goroutine scheduling.
+package psort
+
+import (
+	"sort"
+	"sync"
+)
+
+// minParallel is the slice size below which the sequential sort is used;
+// goroutine and merge overheads dominate under it.
+const minParallel = 4096
+
+// Slice sorts data by less using up to threads goroutines.
+func Slice[T any](data []T, less func(a, b T) bool, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	if len(data) < minParallel || threads == 1 {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return
+	}
+	// Round the chunk count down to a power of two so the merge tree is
+	// balanced.
+	chunks := 1
+	for chunks*2 <= threads {
+		chunks *= 2
+	}
+	if chunks > len(data)/minParallel {
+		chunks = 1
+		for chunks*2 <= len(data)/minParallel {
+			chunks *= 2
+		}
+	}
+	if chunks < 2 {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return
+	}
+
+	bounds := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		bounds[c] = c * len(data) / chunks
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			part := data[lo:hi]
+			sort.Slice(part, func(i, j int) bool { return less(part[i], part[j]) })
+		}(bounds[c], bounds[c+1])
+	}
+	wg.Wait()
+
+	// Pairwise parallel merge rounds.
+	buf := make([]T, len(data))
+	src, dst := data, buf
+	for width := 1; width < chunks; width *= 2 {
+		var mw sync.WaitGroup
+		for c := 0; c < chunks; c += 2 * width {
+			lo := bounds[c]
+			mid := bounds[min(c+width, chunks)]
+			hi := bounds[min(c+2*width, chunks)]
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}(lo, mid, hi)
+		}
+		mw.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &data[0] {
+		copy(data, src)
+	}
+}
+
+func mergeInto[T any](out, a, b []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+// Package semiring defines the overloaded (multiply, add) operator pairs the
+// paper's SPMSPV primitive is parameterised by (§III-A). The matrix elements
+// are structural (binary); the vector elements are int64 labels or levels.
+//
+// The RCM traversal uses (select2nd, min): multiplication passes the
+// parent's label to the child, and addition keeps the minimum label, so each
+// newly discovered vertex deterministically attaches to its minimum-label
+// visited neighbour (Fig. 2 of the paper). This determinism is what makes
+// the distributed ordering identical to the sequential one — and it is what
+// the reproduction's equivalence tests rely on.
+package semiring
+
+import "math"
+
+// Semiring is an overloaded (multiply, add) pair over int64 vector values
+// and binary matrix values.
+type Semiring interface {
+	// Multiply combines a (structural) matrix entry with the vector value
+	// x of its column: for select2nd semirings it simply returns x.
+	Multiply(x int64) int64
+	// Add combines two products accumulated on the same output index.
+	Add(a, b int64) int64
+	// Identity is the additive identity (the "empty accumulator" value).
+	Identity() int64
+	// Name identifies the semiring in reports.
+	Name() string
+}
+
+// Select2ndMin is the deterministic BFS/RCM semiring (select2nd, min).
+type Select2ndMin struct{}
+
+// Multiply returns the vector value (select2nd).
+func (Select2ndMin) Multiply(x int64) int64 { return x }
+
+// Add keeps the minimum.
+func (Select2ndMin) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Identity returns +∞ for min.
+func (Select2ndMin) Identity() int64 { return math.MaxInt64 }
+
+// Name returns the semiring's report name.
+func (Select2ndMin) Name() string { return "(select2nd,min)" }
+
+// Select2ndMax is (select2nd, max); used by tests to show the ordering is
+// sensitive to the additive operation, and by the semiring ablation.
+type Select2ndMax struct{}
+
+// Multiply returns the vector value (select2nd).
+func (Select2ndMax) Multiply(x int64) int64 { return x }
+
+// Add keeps the maximum.
+func (Select2ndMax) Add(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Identity returns -∞ for max.
+func (Select2ndMax) Identity() int64 { return math.MinInt64 }
+
+// Name returns the semiring's report name.
+func (Select2ndMax) Name() string { return "(select2nd,max)" }
+
+// Select2ndAny is the nondeterministic variant: any visited neighbour may
+// become the parent (first writer wins). The paper notes the min overload in
+// Algorithm 4 "can be replaced by any equivalent operation"; this is that
+// replacement, and the semiring ablation measures its effect on quality when
+// (incorrectly) used for the ordering traversal too.
+type Select2ndAny struct{}
+
+// Multiply returns the vector value (select2nd).
+func (Select2ndAny) Multiply(x int64) int64 { return x }
+
+// Add keeps the first accumulated value.
+func (Select2ndAny) Add(a, b int64) int64 {
+	if a == math.MaxInt64 {
+		return b
+	}
+	return a
+}
+
+// Identity returns the "unset" marker.
+func (Select2ndAny) Identity() int64 { return math.MaxInt64 }
+
+// Name returns the semiring's report name.
+func (Select2ndAny) Name() string { return "(select2nd,any)" }
+
+// PlusTimes is the arithmetic semiring over int64, used by SpMSpV
+// correctness tests against a dense reference multiply.
+type PlusTimes struct{}
+
+// Multiply returns the vector value (the matrix entry is structural 1).
+func (PlusTimes) Multiply(x int64) int64 { return x }
+
+// Add sums.
+func (PlusTimes) Add(a, b int64) int64 { return a + b }
+
+// Identity returns 0.
+func (PlusTimes) Identity() int64 { return 0 }
+
+// Name returns the semiring's report name.
+func (PlusTimes) Name() string { return "(+,×)" }

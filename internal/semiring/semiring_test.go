@@ -1,0 +1,83 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelect2ndMin(t *testing.T) {
+	sr := Select2ndMin{}
+	if sr.Multiply(42) != 42 {
+		t.Error("multiply must select the vector value")
+	}
+	if sr.Add(3, 5) != 3 || sr.Add(5, 3) != 3 {
+		t.Error("add must take the min")
+	}
+	if sr.Add(sr.Identity(), 7) != 7 {
+		t.Error("identity not absorbed")
+	}
+	if sr.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestSelect2ndMax(t *testing.T) {
+	sr := Select2ndMax{}
+	if sr.Add(3, 5) != 5 {
+		t.Error("add must take the max")
+	}
+	if sr.Add(sr.Identity(), -7) != -7 {
+		t.Error("identity not absorbed")
+	}
+	if sr.Multiply(1) != 1 || sr.Name() == "" {
+		t.Error("basics")
+	}
+}
+
+func TestSelect2ndAny(t *testing.T) {
+	sr := Select2ndAny{}
+	if sr.Add(sr.Identity(), 9) != 9 {
+		t.Error("identity must yield to first value")
+	}
+	if sr.Add(4, 9) != 4 {
+		t.Error("first value must win")
+	}
+	if sr.Multiply(5) != 5 || sr.Name() == "" {
+		t.Error("basics")
+	}
+}
+
+func TestPlusTimes(t *testing.T) {
+	sr := PlusTimes{}
+	if sr.Add(2, 3) != 5 || sr.Identity() != 0 || sr.Multiply(4) != 4 || sr.Name() == "" {
+		t.Error("plus-times basics")
+	}
+}
+
+func TestQuickSemiringLaws(t *testing.T) {
+	// Associativity and identity for each Add (on representative values,
+	// away from the int64 extremes used as identities).
+	srs := []Semiring{Select2ndMin{}, Select2ndMax{}, PlusTimes{}}
+	for _, sr := range srs {
+		f := func(a, b, c int32) bool {
+			x, y, z := int64(a), int64(b), int64(c)
+			if sr.Add(sr.Add(x, y), z) != sr.Add(x, sr.Add(y, z)) {
+				return false
+			}
+			return sr.Add(sr.Identity(), x) == x
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", sr.Name(), err)
+		}
+	}
+}
+
+func TestIdentitiesAreExtremes(t *testing.T) {
+	if (Select2ndMin{}).Identity() != math.MaxInt64 {
+		t.Error("min identity")
+	}
+	if (Select2ndMax{}).Identity() != math.MinInt64 {
+		t.Error("max identity")
+	}
+}

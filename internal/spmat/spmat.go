@@ -1,0 +1,366 @@
+// Package spmat is the sequential sparse-matrix substrate: CSR/CSC/COO
+// storage, construction, symmetrization, permutation (PAPᵀ), and the
+// envelope/bandwidth metrics the paper optimizes (§II-A).
+//
+// Matrices are square (n×n); RCM is defined on symmetric matrices, and the
+// graph view G(A) treats the nonzero pattern as an undirected graph with
+// self-loops (diagonal entries) ignored. Values are optional: a nil Val
+// slice denotes a pattern (binary) matrix, which is all the ordering
+// algorithms need; the CG experiments attach numeric values.
+package spmat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a square sparse matrix in compressed-sparse-row form. Column
+// indices are sorted within each row and deduplicated. Val is either nil
+// (pattern matrix) or parallel to Col.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Col) }
+
+// Row returns the column indices of row i (shared storage; do not mutate).
+func (a *CSR) Row(i int) []int { return a.Col[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// RowVals returns the values of row i; nil for pattern matrices.
+func (a *CSR) RowVals(i int) []float64 {
+	if a.Val == nil {
+		return nil
+	}
+	return a.Val[a.RowPtr[i]:a.RowPtr[i+1]]
+}
+
+// HasValues reports whether the matrix carries numeric values.
+func (a *CSR) HasValues() bool { return a.Val != nil }
+
+// Coord is one coordinate-format entry.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCoords builds a CSR from coordinate entries. Duplicate (row, col)
+// pairs are merged (values summed). If pattern is true the values are
+// dropped. Entries out of [0, n) panic: generator and reader bugs should be
+// loud.
+func FromCoords(n int, entries []Coord, pattern bool) *CSR {
+	counts := make([]int, n+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			panic(fmt.Sprintf("spmat: entry (%d,%d) outside %d×%d", e.Row, e.Col, n, n))
+		}
+		counts[e.Row+1]++
+	}
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + counts[i+1]
+	}
+	cols := make([]int, len(entries))
+	vals := make([]float64, len(entries))
+	next := append([]int(nil), rowPtr...)
+	for _, e := range entries {
+		p := next[e.Row]
+		cols[p] = e.Col
+		vals[p] = e.Val
+		next[e.Row]++
+	}
+	// Sort each row and merge duplicates.
+	outPtr := make([]int, n+1)
+	outCols := cols[:0]
+	outVals := vals
+	w := 0
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		row := cols[lo:hi]
+		rvals := vals[lo:hi]
+		sort.Sort(&colValSorter{row, rvals})
+		start := w
+		for k := 0; k < len(row); k++ {
+			if w > start && outCols[w-1] == row[k] {
+				outVals[w-1] += rvals[k]
+				continue
+			}
+			outCols = outCols[:w+1]
+			outCols[w] = row[k]
+			outVals[w] = rvals[k]
+			w++
+		}
+		outPtr[i+1] = w
+	}
+	a := &CSR{N: n, RowPtr: outPtr, Col: append([]int(nil), outCols[:w]...)}
+	if !pattern {
+		a.Val = append([]float64(nil), outVals[:w]...)
+	}
+	return a
+}
+
+type colValSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *colValSorter) Len() int           { return len(s.cols) }
+func (s *colValSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *colValSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// Transpose returns Aᵀ.
+func (a *CSR) Transpose() *CSR {
+	n := a.N
+	counts := make([]int, n+1)
+	for _, c := range a.Col {
+		counts[c+1]++
+	}
+	ptr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		ptr[i+1] = ptr[i] + counts[i+1]
+	}
+	cols := make([]int, len(a.Col))
+	var vals []float64
+	if a.Val != nil {
+		vals = make([]float64, len(a.Val))
+	}
+	next := append([]int(nil), ptr...)
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			p := next[j]
+			cols[p] = i
+			if vals != nil {
+				vals[p] = a.Val[k]
+			}
+			next[j]++
+		}
+	}
+	return &CSR{N: n, RowPtr: ptr, Col: cols, Val: vals}
+}
+
+// Symmetrize returns the pattern union A ∪ Aᵀ. For entries present on one
+// side only, the value is mirrored; entries present on both sides keep this
+// side's value. The result is structurally symmetric, which the ordering
+// algorithms require.
+func (a *CSR) Symmetrize() *CSR {
+	t := a.Transpose()
+	entries := make([]Coord, 0, 2*a.NNZ())
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			v := 1.0
+			if a.Val != nil {
+				v = a.Val[k]
+			}
+			entries = append(entries, Coord{i, a.Col[k], v})
+		}
+	}
+	// Add transposed entries only where missing in A.
+	for i := 0; i < t.N; i++ {
+		for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+			j := t.Col[k]
+			if !a.Has(i, j) {
+				v := 1.0
+				if t.Val != nil {
+					v = t.Val[k]
+				}
+				entries = append(entries, Coord{i, j, v})
+			}
+		}
+	}
+	return FromCoords(a.N, entries, a.Val == nil)
+}
+
+// Has reports whether entry (i, j) is stored.
+func (a *CSR) Has(i, j int) bool {
+	row := a.Row(i)
+	k := sort.SearchInts(row, j)
+	return k < len(row) && row[k] == j
+}
+
+// IsSymmetricPattern reports whether the nonzero pattern is symmetric.
+func (a *CSR) IsSymmetricPattern() bool {
+	for i := 0; i < a.N; i++ {
+		for _, j := range a.Row(i) {
+			if !a.Has(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Degrees returns the adjacency degree of each vertex of G(A): the number of
+// off-diagonal entries in each row.
+func (a *CSR) Degrees() []int {
+	deg := make([]int, a.N)
+	for i := 0; i < a.N; i++ {
+		d := 0
+		for _, j := range a.Row(i) {
+			if j != i {
+				d++
+			}
+		}
+		deg[i] = d
+	}
+	return deg
+}
+
+// Bandwidth returns β(A) = max |i-j| over stored entries (the overall
+// bandwidth of §II-A; for symmetric patterns this equals max_i i-f_i(A)).
+// An empty matrix has bandwidth 0.
+func (a *CSR) Bandwidth() int {
+	bw := 0
+	for i := 0; i < a.N; i++ {
+		for _, j := range a.Row(i) {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// Profile returns |Env(A)| = Σ_i β_i(A), with β_i = i - f_i(A) and f_i the
+// first nonzero column of row i (β_i = 0 for empty rows or rows whose first
+// nonzero is past the diagonal).
+func (a *CSR) Profile() int64 {
+	var p int64
+	for i := 0; i < a.N; i++ {
+		row := a.Row(i)
+		if len(row) == 0 {
+			continue
+		}
+		bi := i - row[0]
+		if bi > 0 {
+			p += int64(bi)
+		}
+	}
+	return p
+}
+
+// Permute returns PAPᵀ for the permutation perm, where perm[k] is the old
+// index of the row/column placed at position k (the symrcm convention: A is
+// reordered so that old row perm[0] comes first).
+func (a *CSR) Permute(perm []int) *CSR {
+	if len(perm) != a.N {
+		panic(fmt.Sprintf("spmat: permutation length %d for %d×%d matrix", len(perm), a.N, a.N))
+	}
+	inv := make([]int, a.N)
+	for k, old := range perm {
+		inv[old] = k
+	}
+	entries := make([]Coord, 0, a.NNZ())
+	for i := 0; i < a.N; i++ {
+		vals := a.RowVals(i)
+		for idx, j := range a.Row(i) {
+			v := 1.0
+			if vals != nil {
+				v = vals[idx]
+			}
+			entries = append(entries, Coord{inv[i], inv[j], v})
+		}
+	}
+	return FromCoords(a.N, entries, a.Val == nil)
+}
+
+// BFS performs a breadth-first search over G(A) from start, ignoring
+// self-loops. It returns the level of every vertex (-1 for unreached) and
+// the number of levels (the eccentricity of start within its component,
+// plus one).
+func (a *CSR) BFS(start int) (levels []int, nlevels int) {
+	levels = make([]int, a.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if a.N == 0 {
+		return levels, 0
+	}
+	frontier := []int{start}
+	levels[start] = 0
+	lvl := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range a.Row(v) {
+				if w != v && levels[w] < 0 {
+					levels[w] = lvl + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+		lvl++
+	}
+	return levels, lvl
+}
+
+// Components labels the connected components of G(A) and returns the label
+// of each vertex plus the number of components. Components are numbered in
+// order of their smallest vertex id.
+func (a *CSR) Components() (comp []int, ncomp int) {
+	comp = make([]int, a.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	for s := 0; s < a.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = ncomp
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range a.Row(v) {
+				if w != v && comp[w] < 0 {
+					comp[w] = ncomp
+					stack = append(stack, w)
+				}
+			}
+		}
+		ncomp++
+	}
+	return comp, ncomp
+}
+
+// IsPerm reports whether p is a permutation of 0..n-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// InvertPerm returns the inverse permutation: out[p[k]] = k.
+func InvertPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for k, old := range p {
+		inv[old] = k
+	}
+	return inv
+}
+
+// Identity returns the identity permutation of length n.
+func Identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

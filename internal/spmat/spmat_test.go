@@ -1,0 +1,339 @@
+package spmat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tri builds a small matrix from triples for tests.
+func tri(n int, coords ...[2]int) *CSR {
+	es := make([]Coord, len(coords))
+	for i, c := range coords {
+		es[i] = Coord{Row: c[0], Col: c[1], Val: 1}
+	}
+	return FromCoords(n, es, true)
+}
+
+func TestFromCoordsSortsAndDedupes(t *testing.T) {
+	a := FromCoords(3, []Coord{
+		{2, 1, 5}, {0, 2, 1}, {0, 0, 2}, {0, 2, 3}, {2, 0, 1},
+	}, false)
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", a.NNZ())
+	}
+	if got := a.Row(0); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("row 0 = %v", got)
+	}
+	if got := a.RowVals(0); !reflect.DeepEqual(got, []float64{2, 4}) {
+		t.Errorf("row 0 vals = %v (duplicates must sum)", got)
+	}
+	if got := a.Row(1); len(got) != 0 {
+		t.Errorf("row 1 = %v, want empty", got)
+	}
+	if got := a.Row(2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("row 2 = %v", got)
+	}
+}
+
+func TestFromCoordsPatternDropsValues(t *testing.T) {
+	a := FromCoords(2, []Coord{{0, 1, 9}}, true)
+	if a.HasValues() {
+		t.Error("pattern matrix has values")
+	}
+	if a.RowVals(0) != nil {
+		t.Error("pattern RowVals not nil")
+	}
+}
+
+func TestFromCoordsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromCoords(2, []Coord{{0, 5, 1}}, true)
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	a := FromCoords(0, nil, true)
+	if a.NNZ() != 0 || a.Bandwidth() != 0 || a.Profile() != 0 {
+		t.Error("empty matrix metrics nonzero")
+	}
+	_, ncomp := a.Components()
+	if ncomp != 0 {
+		t.Errorf("empty matrix has %d components", ncomp)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromCoords(3, []Coord{{0, 1, 2}, {1, 2, 3}, {2, 0, 4}}, false)
+	at := a.Transpose()
+	if !at.Has(1, 0) || !at.Has(2, 1) || !at.Has(0, 2) {
+		t.Error("transpose pattern wrong")
+	}
+	if at.RowVals(1)[0] != 2 {
+		t.Errorf("transpose values wrong: %v", at.RowVals(1))
+	}
+	// (Aᵀ)ᵀ = A.
+	att := at.Transpose()
+	if !reflect.DeepEqual(att.RowPtr, a.RowPtr) || !reflect.DeepEqual(att.Col, a.Col) {
+		t.Error("double transpose differs")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromCoords(3, []Coord{{0, 1, 2}, {2, 2, 1}}, false)
+	s := a.Symmetrize()
+	if !s.IsSymmetricPattern() {
+		t.Fatal("not symmetric")
+	}
+	if !s.Has(1, 0) || !s.Has(0, 1) || !s.Has(2, 2) {
+		t.Error("symmetrize lost entries")
+	}
+	if s.NNZ() != 3 {
+		t.Errorf("nnz = %d, want 3", s.NNZ())
+	}
+}
+
+func TestIsSymmetricPattern(t *testing.T) {
+	if !tri(2, [2]int{0, 1}, [2]int{1, 0}).IsSymmetricPattern() {
+		t.Error("symmetric reported asymmetric")
+	}
+	if tri(2, [2]int{0, 1}).IsSymmetricPattern() {
+		t.Error("asymmetric reported symmetric")
+	}
+}
+
+func TestDegreesExcludeDiagonal(t *testing.T) {
+	a := tri(3, [2]int{0, 0}, [2]int{0, 1}, [2]int{1, 0}, [2]int{1, 1}, [2]int{2, 2})
+	if got := a.Degrees(); !reflect.DeepEqual(got, []int{1, 1, 0}) {
+		t.Errorf("degrees = %v", got)
+	}
+}
+
+func TestBandwidthAndProfile(t *testing.T) {
+	// Tridiagonal 4x4: bandwidth 1, profile 3.
+	a := tri(4,
+		[2]int{0, 0}, [2]int{0, 1},
+		[2]int{1, 0}, [2]int{1, 1}, [2]int{1, 2},
+		[2]int{2, 1}, [2]int{2, 2}, [2]int{2, 3},
+		[2]int{3, 2}, [2]int{3, 3})
+	if got := a.Bandwidth(); got != 1 {
+		t.Errorf("bandwidth = %d, want 1", got)
+	}
+	if got := a.Profile(); got != 3 {
+		t.Errorf("profile = %d, want 3", got)
+	}
+	// Arrow matrix: entry (3,0) gives bandwidth 3.
+	b := tri(4, [2]int{3, 0}, [2]int{0, 3})
+	if got := b.Bandwidth(); got != 3 {
+		t.Errorf("arrow bandwidth = %d", got)
+	}
+	if got := b.Profile(); got != 3 {
+		t.Errorf("arrow profile = %d (row 3 only)", got)
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	a := tri(3, [2]int{0, 1}, [2]int{1, 0}, [2]int{2, 2})
+	p := a.Permute(Identity(3))
+	if !reflect.DeepEqual(p.Col, a.Col) || !reflect.DeepEqual(p.RowPtr, a.RowPtr) {
+		t.Error("identity permutation changed matrix")
+	}
+}
+
+func TestPermuteReversal(t *testing.T) {
+	// Entry (0,1) under reversal perm [2,1,0] maps to (2,1).
+	a := tri(3, [2]int{0, 1}, [2]int{1, 0})
+	p := a.Permute([]int{2, 1, 0})
+	if !p.Has(2, 1) || !p.Has(1, 2) {
+		t.Errorf("reversal wrong: %v", p)
+	}
+	if p.NNZ() != 2 {
+		t.Errorf("nnz changed: %d", p.NNZ())
+	}
+}
+
+func TestPermutePreservesValues(t *testing.T) {
+	a := FromCoords(2, []Coord{{0, 0, 5}, {1, 1, 7}}, false)
+	p := a.Permute([]int{1, 0})
+	if p.RowVals(0)[0] != 7 || p.RowVals(1)[0] != 5 {
+		t.Errorf("values not permuted: %v %v", p.RowVals(0), p.RowVals(1))
+	}
+}
+
+func TestPermuteWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tri(3, [2]int{0, 0}).Permute([]int{0, 1})
+}
+
+func randSym(rng *rand.Rand, n, m int) *CSR {
+	var es []Coord
+	for k := 0; k < m; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		es = append(es, Coord{i, j, 1}, Coord{j, i, 1})
+	}
+	return FromCoords(n, es, true)
+}
+
+func TestQuickPermuteInvariants(t *testing.T) {
+	// Bandwidth and profile are computed after permutation on identical
+	// entry multisets: nnz is invariant and symmetry is preserved.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		a := randSym(r, n, 3*n)
+		perm := r.Perm(n)
+		p := a.Permute(perm)
+		if p.NNZ() != a.NNZ() {
+			return false
+		}
+		if !p.IsSymmetricPattern() {
+			return false
+		}
+		// Permuting back recovers A.
+		back := p.Permute(InvertPerm(perm))
+		return reflect.DeepEqual(back.Col, a.Col) && reflect.DeepEqual(back.RowPtr, a.RowPtr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	a := tri(4, [2]int{0, 1}, [2]int{1, 0}, [2]int{1, 2}, [2]int{2, 1}, [2]int{2, 3}, [2]int{3, 2})
+	levels, nl := a.BFS(0)
+	if !reflect.DeepEqual(levels, []int{0, 1, 2, 3}) {
+		t.Errorf("levels = %v", levels)
+	}
+	if nl != 4 {
+		t.Errorf("nlevels = %d", nl)
+	}
+}
+
+func TestBFSIgnoresSelfLoops(t *testing.T) {
+	a := tri(2, [2]int{0, 0}, [2]int{0, 1}, [2]int{1, 0}, [2]int{1, 1})
+	levels, _ := a.BFS(0)
+	if !reflect.DeepEqual(levels, []int{0, 1}) {
+		t.Errorf("levels = %v", levels)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	a := tri(3, [2]int{0, 1}, [2]int{1, 0})
+	levels, _ := a.BFS(0)
+	if levels[2] != -1 {
+		t.Errorf("unreachable vertex has level %d", levels[2])
+	}
+}
+
+func TestComponents(t *testing.T) {
+	a := tri(5, [2]int{0, 1}, [2]int{1, 0}, [2]int{3, 4}, [2]int{4, 3})
+	comp, n := a.Components()
+	if n != 3 {
+		t.Fatalf("ncomp = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[3] != comp[4] || comp[0] == comp[3] || comp[2] == comp[0] {
+		t.Errorf("components = %v", comp)
+	}
+	// Numbered by smallest vertex id.
+	if comp[0] != 0 || comp[2] != 1 || comp[3] != 2 {
+		t.Errorf("component numbering = %v", comp)
+	}
+}
+
+func TestIsPermAndInvert(t *testing.T) {
+	if !IsPerm([]int{2, 0, 1}) {
+		t.Error("valid perm rejected")
+	}
+	if IsPerm([]int{0, 0, 1}) {
+		t.Error("duplicate accepted")
+	}
+	if IsPerm([]int{0, 3}) {
+		t.Error("out of range accepted")
+	}
+	if IsPerm([]int{0, -1}) {
+		t.Error("negative accepted")
+	}
+	inv := InvertPerm([]int{2, 0, 1})
+	if !reflect.DeepEqual(inv, []int{1, 2, 0}) {
+		t.Errorf("invert = %v", inv)
+	}
+}
+
+func TestQuickInvertPermIsInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := r.Perm(1 + r.Intn(50))
+		return reflect.DeepEqual(InvertPerm(InvertPerm(p)), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSCFromCoords(t *testing.T) {
+	c := CSCFromCoords(3, 2, []int{2, 0, 2}, []int{0, 1, 0})
+	if c.NNZ() != 2 { // duplicate (2,0) dropped
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	if got := c.Column(0); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("col 0 = %v", got)
+	}
+	if got := c.Column(1); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("col 1 = %v", got)
+	}
+}
+
+func TestToCSCRoundtrip(t *testing.T) {
+	a := tri(3, [2]int{0, 1}, [2]int{1, 0}, [2]int{2, 1}, [2]int{1, 2})
+	c := a.ToCSC()
+	if c.Rows != 3 || c.Cols != 3 {
+		t.Fatal("dims wrong")
+	}
+	for i := 0; i < 3; i++ {
+		for _, j := range a.Row(i) {
+			found := false
+			for _, r := range c.Column(j) {
+				if r == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("entry (%d,%d) missing in CSC", i, j)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := tri(4, [2]int{0, 1}, [2]int{1, 0}, [2]int{2, 3}, [2]int{3, 2})
+	info := Summarize("t", a)
+	if info.N != 4 || info.NNZ != 4 || info.Components != 2 || info.MaxDegree != 1 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.String() == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestSpyString(t *testing.T) {
+	a := tri(4, [2]int{0, 0}, [2]int{3, 3})
+	s := a.SpyString(4, 4)
+	if len(s) != 4*5 {
+		t.Errorf("spy size %d: %q", len(s), s)
+	}
+	if s[0] == ' ' {
+		t.Error("corner (0,0) empty in spy plot")
+	}
+	if FromCoords(0, nil, true).SpyString(3, 3) == "" {
+		t.Error("empty spy")
+	}
+}
