@@ -19,17 +19,18 @@
 //	rcmbench -exp all                everything above
 //
 // Times reported for distributed runs are modelled BSP seconds under the
-// machine model (see internal/tally); shared-memory times are wall-clock.
+// machine model (see DESIGN.md); shared-memory times are wall-clock. See
+// EXPERIMENTS.md for the full regeneration guide.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/tally"
+	"repro/rcm/bench"
 )
 
 func main() {
@@ -45,25 +46,19 @@ func main() {
 	)
 	flag.Parse()
 
-	model := tally.Edison()
-	if *alpha > 0 {
-		model.AlphaNs = *alpha
-	}
-	if *beta > 0 {
-		model.BetaNsPerWord = *beta
-	}
 	cfg := bench.Config{
-		Scale:    *scale,
-		MaxCores: *maxCores,
-		Model:    model,
-		Out:      os.Stdout,
+		Scale:         *scale,
+		MaxCores:      *maxCores,
+		AlphaNs:       *alpha,
+		BetaNsPerWord: *beta,
+		Out:           os.Stdout,
 	}
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")
 	}
 
 	run := func(id string) bool { return *exp == id || *exp == "all" }
-	csvOut := func(write func(w *os.File) error) {
+	csvOut := func(write func(w io.Writer) error) {
 		if *csvPath == "" {
 			return
 		}
@@ -86,7 +81,7 @@ func main() {
 	if run("fig1") {
 		res := bench.RunFig1(cfg)
 		if *exp == "fig1" {
-			csvOut(func(w *os.File) error { return bench.WriteFig1CSV(w, res) })
+			csvOut(res.WriteCSV)
 		}
 		fmt.Println()
 		ran = true
@@ -101,15 +96,15 @@ func main() {
 		ran = true
 	}
 	if run("fig4") || run("fig5") {
-		series := bench.RunScaling(cfg, bench.HybridConfigs())
+		series := bench.RunHybridScaling(cfg)
 		if run("fig4") {
-			bench.PrintFig4(cfg, series)
+			series.PrintFig4(cfg)
 		}
 		if run("fig5") {
-			bench.PrintFig5(cfg, series)
+			series.PrintFig5(cfg)
 		}
 		if *exp == "fig4" || *exp == "fig5" {
-			csvOut(func(w *os.File) error { return bench.WriteScalingCSV(w, series) })
+			csvOut(series.WriteCSV)
 		}
 		ran = true
 	}
@@ -134,11 +129,11 @@ func main() {
 		ran = true
 	}
 	if run("quality") {
-		bench.RunQuality(cfg, nil)
+		bench.RunQuality(cfg)
 		ran = true
 	}
 	if run("sizesense") {
-		bench.RunSizeSensitivity(cfg, "ldoor", nil)
+		bench.RunSizeSensitivity(cfg, "ldoor")
 		ran = true
 	}
 	if run("sloan") {

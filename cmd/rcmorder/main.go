@@ -2,7 +2,8 @@
 // Market file and reports the bandwidth and profile before and after.
 //
 //	rcmorder -in matrix.mtx [-method seq|shared|algebraic|dist] [-procs 16]
-//	         [-threads 2] [-out permuted.mtx] [-perm order.perm] [-spy]
+//	         [-threads 2] [-start pseudo-peripheral|min-degree|first]
+//	         [-out permuted.mtx] [-perm order.perm] [-spy]
 //
 // Non-symmetric inputs are symmetrized (pattern of A ∪ Aᵀ) before ordering,
 // like every practical RCM implementation. The distributed method runs on
@@ -16,10 +17,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/mmio"
-	"repro/internal/spmat"
-	"repro/internal/tally"
+	"repro/rcm"
 )
 
 func main() {
@@ -28,6 +26,7 @@ func main() {
 		method  = flag.String("method", "seq", "ordering implementation: seq|shared|algebraic|dist")
 		procs   = flag.Int("procs", 16, "simulated processes for -method dist (perfect square)")
 		threads = flag.Int("threads", 2, "threads for -method shared / model threads for dist")
+		start   = flag.String("start", "pseudo-peripheral", "starting-vertex heuristic: pseudo-peripheral|min-degree|first")
 		outPath = flag.String("out", "", "write the permuted matrix here (Matrix Market)")
 		permOut = flag.String("perm", "", "write the permutation here (1-based, one index per line)")
 		spy     = flag.Bool("spy", false, "print before/after ASCII spy plots")
@@ -39,66 +38,69 @@ func main() {
 		os.Exit(2)
 	}
 
-	a, hdr, err := mmio.ReadFile(*in)
+	backend, err := rcm.ParseBackend(*method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
+		os.Exit(2)
+	}
+	var heuristic rcm.StartHeuristic
+	switch *start {
+	case "pseudo-peripheral":
+		heuristic = rcm.PseudoPeripheral
+	case "min-degree":
+		heuristic = rcm.MinDegree
+	case "first":
+		heuristic = rcm.FirstVertex
+	default:
+		fmt.Fprintf(os.Stderr, "rcmorder: unknown heuristic %q\n", *start)
+		os.Exit(2)
+	}
+
+	a, hdr, err := rcm.LoadMatrixMarket(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("read %s: n=%d nnz=%d (%s %s)\n", *in, a.N, a.NNZ(), hdr.Field, hdr.Symmetry)
+	fmt.Printf("read %s: n=%d nnz=%d (%s %s)\n", *in, a.N(), a.NNZ(), hdr.Field, hdr.Symmetry)
 	if !a.IsSymmetricPattern() {
 		fmt.Println("pattern not symmetric; ordering the symmetrized pattern A ∪ Aᵀ")
-		a = a.Symmetrize()
 	}
 
-	start := time.Now()
-	var ord *core.Ordering
-	switch *method {
-	case "seq":
-		ord = core.Sequential(a)
-	case "shared":
-		ord = core.Shared(a, *threads)
-	case "algebraic":
-		ord = core.Algebraic(a)
-	case "dist":
-		d := core.Distributed(a, core.DistOptions{
-			Procs:   *procs,
-			Model:   tally.Edison().WithThreads(*threads),
-			Options: core.Options{Start: -1},
-		})
-		ord = &d.Ordering
-		fmt.Printf("modelled distributed time: %.4f s across %d procs × %d threads\n",
-			tally.Seconds(d.Breakdown.TotalNs()), d.Procs, d.Threads)
-		for p := tally.Phase(0); p < tally.NumPhases; p++ {
-			fmt.Printf("  %-18s %.4f s\n", p, tally.Seconds(d.Breakdown.PhaseNs(p)))
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "rcmorder: unknown method %q\n", *method)
-		os.Exit(2)
-	}
-	elapsed := time.Since(start)
-
-	if !spmat.IsPerm(ord.Perm) {
-		fmt.Fprintln(os.Stderr, "rcmorder: internal error: invalid permutation")
+	wall := time.Now()
+	p, res, err := rcm.OrderMatrix(a,
+		rcm.WithBackend(backend),
+		rcm.WithProcs(*procs),
+		rcm.WithThreads(*threads),
+		rcm.WithStartHeuristic(heuristic),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 		os.Exit(1)
 	}
-	p := a.Permute(ord.Perm)
+	elapsed := time.Since(wall)
+
+	if b := res.Modeled; b != nil {
+		fmt.Printf("modelled distributed time: %.4f s across %d procs × %d threads\n",
+			b.Seconds, res.Procs, res.Threads)
+		fmt.Print(b.Table())
+	}
 	fmt.Printf("method=%s wall=%.3fs components=%d pseudo-diameter=%d\n",
-		*method, elapsed.Seconds(), ord.Components, ord.PseudoDiameter)
-	fmt.Printf("bandwidth: %d -> %d\n", a.Bandwidth(), p.Bandwidth())
-	fmt.Printf("profile:   %d -> %d\n", a.Profile(), p.Profile())
+		res.Backend, elapsed.Seconds(), res.Components, res.PseudoDiameter)
+	fmt.Printf("bandwidth: %d -> %d\n", res.Before.Bandwidth, res.After.Bandwidth)
+	fmt.Printf("profile:   %d -> %d\n", res.Before.Profile, res.After.Profile)
 
 	if *spy {
 		fmt.Printf("before:\n%s\nafter:\n%s", a.SpyString(48, 24), p.SpyString(48, 24))
 	}
 	if *outPath != "" {
-		if err := mmio.WriteFile(*outPath, p, p.IsSymmetricPattern(), "RCM-permuted by rcmorder"); err != nil {
+		if err := rcm.SaveMatrixMarket(*outPath, p, p.IsSymmetricPattern(), "RCM-permuted by rcmorder"); err != nil {
 			fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
 	if *permOut != "" {
-		if err := mmio.WritePerm(*permOut, ord.Perm); err != nil {
+		if err := rcm.SavePermutation(*permOut, res.Perm); err != nil {
 			fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 			os.Exit(1)
 		}

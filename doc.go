@@ -2,13 +2,22 @@
 // Cuthill-McKee Algorithm in Distributed-Memory" (Azad, Jacquelin, Buluç,
 // Ng — IPDPS 2017, arXiv:1610.08128).
 //
-// The library lives under internal/: package core holds the four RCM
+// The public API is the facade package repro/rcm: a one-call ordering
+// pipeline (Order, OrderMatrix, Permute) with functional options selecting
+// the backend (Sequential, Algebraic, Shared, Distributed), the sort mode,
+// the starting-vertex heuristic and the worker/process counts — plus the
+// Matrix Market I/O, the synthetic graph generators and the CG solvers an
+// application needs, so no caller ever imports repro/internal/... The
+// experiment harness that regenerates every table and figure is
+// repro/rcm/bench, driven by cmd/rcmbench.
+//
+// The engine lives under internal/: package core holds the four RCM
 // implementations (sequential, matrix-algebraic, shared-memory parallel,
 // and the paper's distributed algorithm); packages comm, grid, distmat,
 // spvec, semiring and tally form the simulated distributed-memory substrate
 // that replaces MPI+CombBLAS; graphgen generates the synthetic analogs of
 // the paper's matrix suite; cg provides the CG + block-Jacobi solver of
-// Fig. 1; bench regenerates every table and figure.
+// Fig. 1; bench implements the experiments.
 //
 // The benchmarks in this package (bench_test.go) wrap one experiment each:
 // go test -bench=. runs the full evaluation at a reduced scale, and

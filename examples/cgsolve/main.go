@@ -7,47 +7,57 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/cg"
-	"repro/internal/core"
-	"repro/internal/graphgen"
-	"repro/internal/spmat"
+	"repro/rcm"
 )
 
 func main() {
-	a := graphgen.Thermal2(4) // 75×75 grid, scrambled
-	ord := core.Sequential(a)
-	rcm := a.Permute(ord.Perm)
-	fmt.Printf("thermal2 analog: n=%d nnz=%d\n", a.N, a.NNZ())
-	fmt.Printf("bandwidth natural=%d rcm=%d\n\n", a.Bandwidth(), rcm.Bandwidth())
+	a := rcm.Thermal2(4) // 75×75 grid, scrambled
+	p, res, err := rcm.OrderMatrix(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thermal2 analog: n=%d nnz=%d\n", a.N(), a.NNZ())
+	fmt.Printf("bandwidth natural=%d rcm=%d\n\n", res.Before.Bandwidth, res.After.Bandwidth)
 
 	// A real single-node solve with 8 preconditioner blocks: RCM makes
 	// the contiguous blocks meaningful subdomains, so CG needs fewer
 	// iterations.
-	b := make([]float64, a.N)
+	b := make([]float64, a.N())
 	for i := range b {
 		b[i] = float64(i%7) - 3
 	}
-	solve := func(name string, m *spmat.CSR) {
-		bj, err := cg.NewBlockJacobi(m, 8)
+	solve := func(name string, m *rcm.Matrix) {
+		bj, err := rcm.NewBlockJacobi(m, 8)
 		if err != nil {
 			fmt.Printf("%-8s ILU(0) failed: %v\n", name, err)
 			return
 		}
-		_, res := cg.PCG(m, b, bj, 1e-8, 10000)
+		_, sres, err := rcm.SolvePCG(m, b, bj, 1e-8, 10000)
+		if err != nil {
+			fmt.Printf("%-8s solve failed: %v\n", name, err)
+			return
+		}
 		fmt.Printf("%-8s %4d CG iterations (converged=%v, final rel %.2e)\n",
-			name, res.Iterations, res.Converged, res.FinalRel)
+			name, sres.Iterations, sres.Converged, sres.FinalRel)
 	}
 	solve("natural", a)
-	solve("rcm", rcm)
+	solve("rcm", p)
 
 	// The modelled distributed solve at growing core counts (Fig. 1).
 	fmt.Printf("\n%6s %14s %14s %9s\n", "cores", "natural (s)", "rcm (s)", "speedup")
 	for _, cores := range []int{1, 4, 16, 64, 256} {
-		nat := cg.ModelDistributedCG(a, cores, nil, 1e-6, 20000)
-		rcmStats := cg.ModelDistributedCG(rcm, cores, nil, 1e-6, 20000)
+		nat, err := rcm.ModelDistributedSolve(a, cores, 1e-6, 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ord, err := rcm.ModelDistributedSolve(p, cores, 1e-6, 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%6d %14.4f %14.4f %8.2fx\n",
-			cores, nat.ModeledSeconds, rcmStats.ModeledSeconds,
-			nat.ModeledSeconds/rcmStats.ModeledSeconds)
+			cores, nat.ModeledSeconds, ord.ModeledSeconds,
+			nat.ModeledSeconds/ord.ModeledSeconds)
 	}
 }

@@ -7,39 +7,44 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"reflect"
 
-	"repro/internal/core"
-	"repro/internal/graphgen"
-	"repro/internal/tally"
+	"repro/rcm"
 )
 
 func main() {
 	// The ldoor analog at a small scale: a long thin plate, the kind of
 	// high-diameter problem the paper highlights as hard for
 	// level-synchronous BFS.
-	a := graphgen.SuiteByName("ldoor").Build(3)
-	fmt.Printf("ldoor analog: n=%d nnz=%d bandwidth=%d\n", a.N, a.NNZ(), a.Bandwidth())
-
-	ord := core.Distributed(a, core.DistOptions{
-		Procs:   36,                            // 6×6 process grid
-		Model:   tally.Edison().WithThreads(6), // hybrid MPI+OpenMP, t=6
-		Options: core.Options{Start: -1},
-	})
-
-	fmt.Printf("\nordered on %d procs × %d threads = %d cores\n", ord.Procs, ord.Threads, ord.Procs*ord.Threads)
-	fmt.Printf("bandwidth after RCM: %d (pseudo-diameter %d)\n",
-		a.Permute(ord.Perm).Bandwidth(), ord.PseudoDiameter)
-
-	b := ord.Breakdown
-	fmt.Printf("\nmodelled time %.4f s, breakdown:\n", tally.Seconds(b.TotalNs()))
-	for p := tally.Phase(0); p < tally.NumPhases; p++ {
-		fmt.Printf("  %-18s comp %.4f s   comm %.4f s\n", p,
-			tally.Seconds(b.CompNs[p]), tally.Seconds(b.CommNs[p]))
+	entry, err := rcm.SuiteByName("ldoor")
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("traffic: %d messages, %d words moved\n", b.Msgs, b.Words)
+	a := entry.Build(3)
+	fmt.Printf("ldoor analog: n=%d nnz=%d bandwidth=%d\n", a.N(), a.NNZ(), a.Bandwidth())
+
+	res, err := rcm.Order(a,
+		rcm.WithBackend(rcm.Distributed),
+		rcm.WithProcs(36),  // 6×6 process grid
+		rcm.WithThreads(6)) // hybrid MPI+OpenMP, t=6
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nordered on %d procs × %d threads = %d cores\n",
+		res.Procs, res.Threads, res.Procs*res.Threads)
+	fmt.Printf("bandwidth after RCM: %d (pseudo-diameter %d)\n",
+		res.After.Bandwidth, res.PseudoDiameter)
+
+	b := res.Modeled
+	fmt.Printf("\nmodelled time %.4f s, breakdown:\n%s", b.Seconds, b.Table())
+	fmt.Printf("traffic: %d messages, %d words moved\n", b.Messages, b.Words)
 
 	// Determinism: any process count gives the sequential permutation.
-	seq := core.Sequential(a)
-	fmt.Printf("\ndistributed == sequential ordering: %v\n", reflect.DeepEqual(ord.Perm, seq.Perm))
+	seq, err := rcm.Order(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed == sequential ordering: %v\n", reflect.DeepEqual(res.Perm, seq.Perm))
 }

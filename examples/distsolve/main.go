@@ -10,47 +10,45 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cg"
-	"repro/internal/core"
-	"repro/internal/graphgen"
-	"repro/internal/tally"
+	"repro/rcm"
 )
 
 func main() {
-	a := graphgen.Thermal2(6) // 50×50 scrambled thermal problem
-	fmt.Printf("thermal2 analog: n=%d nnz=%d bandwidth=%d\n", a.N, a.NNZ(), a.Bandwidth())
+	a := rcm.Thermal2(6) // 50×50 scrambled thermal problem
+	fmt.Printf("thermal2 analog: n=%d nnz=%d bandwidth=%d\n", a.N(), a.NNZ(), a.Bandwidth())
 
 	// Step 1: order in place on a 4×4 process grid.
-	ord := core.Distributed(a, core.DistOptions{
-		Procs: 16,
-		Model: tally.Edison().WithThreads(6),
-	})
-	rcm := a.Permute(ord.Perm)
+	p, res, err := rcm.OrderMatrix(a,
+		rcm.WithBackend(rcm.Distributed),
+		rcm.WithProcs(16),
+		rcm.WithThreads(6))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("distributed RCM on %d procs: bandwidth -> %d, modelled %.4f s\n",
-		ord.Procs, rcm.Bandwidth(), tally.Seconds(ord.Breakdown.TotalNs()))
+		res.Procs, res.After.Bandwidth, res.Modeled.Seconds)
 
 	// Step 2: solve on the same number of processes, before and after.
-	b := make([]float64, a.N)
+	b := make([]float64, a.N())
 	for i := range b {
 		b[i] = float64((i*31)%11) - 5
 	}
-	natural, err := cg.DistributedPCG(a, b, 16, nil, 1e-6, 5000)
+	natural, err := rcm.SolveDistributedPCG(a, b, 16, 1e-6, 5000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ordered, err := cg.DistributedPCG(rcm, b, 16, nil, 1e-6, 5000)
+	ordered, err := rcm.SolveDistributedPCG(p, b, 16, 1e-6, 5000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report := func(name string, r *cg.DistResult) {
+	report := func(name string, r *rcm.DistSolveResult) {
 		fmt.Printf("%-8s %4d iterations, %.1e final rel, %8d halo words, modelled %.4f s\n",
-			name, r.Iterations, r.FinalRel, r.Breakdown.Words,
-			tally.Seconds(r.Breakdown.ClockNs))
+			name, r.Iterations, r.FinalRel, r.Modeled.Words, r.Modeled.Seconds)
 	}
 	fmt.Println("\ndistributed PCG on 16 processes:")
 	report("natural", natural)
 	report("rcm", ordered)
 	fmt.Printf("\nhalo traffic reduced %.1fx, time %.1fx\n",
-		float64(natural.Breakdown.Words)/float64(ordered.Breakdown.Words),
-		natural.Breakdown.ClockNs/ordered.Breakdown.ClockNs)
+		float64(natural.Modeled.Words)/float64(ordered.Modeled.Words),
+		natural.Modeled.Seconds/ordered.Modeled.Seconds)
 }

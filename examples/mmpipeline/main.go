@@ -9,12 +9,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"reflect"
 
-	"repro/internal/core"
-	"repro/internal/graphgen"
-	"repro/internal/mmio"
-	"repro/internal/spmat"
+	"repro/rcm"
 )
 
 func main() {
@@ -25,48 +21,54 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	// 1. Generate and write the input.
-	a := graphgen.SuiteByName("Serena").Build(6)
-	inPath := filepath.Join(dir, "serena.mtx")
-	if err := mmio.WriteFile(inPath, a, true, "Serena analog"); err != nil {
+	entry, err := rcm.SuiteByName("Serena")
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (n=%d nnz=%d bw=%d)\n", inPath, a.N, a.NNZ(), a.Bandwidth())
+	a := entry.Build(6)
+	inPath := filepath.Join(dir, "serena.mtx")
+	if err := rcm.SaveMatrixMarket(inPath, a, true, "Serena analog"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (n=%d nnz=%d bw=%d)\n", inPath, a.N(), a.NNZ(), a.Bandwidth())
 
 	// 2. Read it back and order it.
-	read, hdr, err := mmio.ReadFile(inPath)
+	read, hdr, err := rcm.LoadMatrixMarket(inPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read back: %s %s, nnz=%d\n", hdr.Field, hdr.Symmetry, read.NNZ())
-	ord := core.Shared(read, 2)
-	perm := ord.Perm
-	permuted := read.Permute(perm)
+	permuted, res, err := rcm.OrderMatrix(read, rcm.WithBackend(rcm.Shared), rcm.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("RCM: bandwidth %d -> %d, profile %d -> %d\n",
-		read.Bandwidth(), permuted.Bandwidth(), read.Profile(), permuted.Profile())
+		res.Before.Bandwidth, res.After.Bandwidth, res.Before.Profile, res.After.Profile)
 
 	// 3. Write the outputs.
 	outPath := filepath.Join(dir, "serena_rcm.mtx")
 	permPath := filepath.Join(dir, "serena.perm")
-	if err := mmio.WriteFile(outPath, permuted, true, "RCM-permuted"); err != nil {
+	if err := rcm.SaveMatrixMarket(outPath, permuted, true, "RCM-permuted"); err != nil {
 		log.Fatal(err)
 	}
-	if err := mmio.WritePerm(permPath, perm); err != nil {
+	if err := rcm.SavePermutation(permPath, res.Perm); err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Verify: reading the permutation and re-applying it to the input
 	// reproduces the permuted file exactly.
-	permBack, err := mmio.ReadPerm(permPath)
+	permBack, err := rcm.LoadPermutation(permPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	again, _, err := mmio.ReadFile(outPath)
+	again, _, err := rcm.LoadMatrixMarket(outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	check := read.Permute(permBack)
-	same := reflect.DeepEqual(check.RowPtr, again.RowPtr) &&
-		reflect.DeepEqual(check.Col, again.Col) &&
-		spmat.IsPerm(permBack)
+	check, err := rcm.Permute(read, permBack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := check.Equal(again) && rcm.IsPermutation(permBack)
 	fmt.Printf("round trip consistent: %v\n", same)
 }

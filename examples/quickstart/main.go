@@ -5,28 +5,30 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/graphgen"
+	"repro/rcm"
 )
 
 func main() {
 	// A 20×12×4 plate with a 27-point stencil, then a random symmetric
 	// permutation so the sparsity pattern has no usable structure left.
-	mesh := graphgen.Grid3D(20, 12, 4, 1, false)
-	a, _ := graphgen.Scramble(mesh, 7)
+	mesh := rcm.Grid3D(20, 12, 4, 1, false)
+	a, _ := rcm.Scramble(mesh, 7)
 
-	fmt.Printf("matrix: n=%d nnz=%d\n", a.N, a.NNZ())
+	fmt.Printf("matrix: n=%d nnz=%d\n", a.N(), a.NNZ())
 	fmt.Printf("before RCM: bandwidth=%d profile=%d\n", a.Bandwidth(), a.Profile())
 	fmt.Println(a.SpyString(40, 18))
 
-	// The one-call API: Sequential for a single address space. The result
-	// is a permutation in symrcm convention (Perm[k] = old index of the
-	// row placed at position k).
-	ord := core.Sequential(a)
-	p := a.Permute(ord.Perm)
+	// The one-call API: OrderMatrix computes the permutation (symrcm
+	// convention: Perm[k] = old index of the row placed at position k)
+	// and applies it in one step.
+	p, res, err := rcm.OrderMatrix(a)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("after RCM:  bandwidth=%d profile=%d (pseudo-diameter %d, %d component(s))\n",
-		p.Bandwidth(), p.Profile(), ord.PseudoDiameter, ord.Components)
+		res.After.Bandwidth, res.After.Profile, res.PseudoDiameter, res.Components)
 	fmt.Println(p.SpyString(40, 18))
 }

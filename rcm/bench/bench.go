@@ -1,0 +1,156 @@
+// Package bench is the public face of the experiment harness: it
+// regenerates every table and figure of the paper's evaluation on the
+// synthetic analog suite, at any scale. Command rcmbench drives it from
+// the command line; the benchmarks at the module root run the same
+// experiments at a reduced scale under `go test -bench`. EXPERIMENTS.md
+// maps each experiment to the paper's figures and documents the expected
+// qualitative behaviour.
+package bench
+
+import (
+	"io"
+	"os"
+
+	ibench "repro/internal/bench"
+	"repro/internal/tally"
+)
+
+// Config selects the scale and scope of an experiment run.
+type Config struct {
+	// Scale divides the linear dimensions of the analog matrices; 1 is
+	// the full analog, larger values give proportionally smaller
+	// matrices. 0 defaults to 2.
+	Scale int
+	// MaxCores skips scaling configurations above this core count
+	// (0 = no limit).
+	MaxCores int
+	// Matrices restricts suite experiments to the named matrices
+	// (nil = all nine).
+	Matrices []string
+	// AlphaNs and BetaNsPerWord override the machine model's per-message
+	// latency and inverse bandwidth (0 = calibrated default). See
+	// DESIGN.md for the calibration rationale.
+	AlphaNs, BetaNsPerWord float64
+	// Out receives the rendered tables (nil = os.Stdout).
+	Out io.Writer
+}
+
+// internal translates the public configuration, materializing the machine
+// model.
+func (c Config) internal() ibench.Config {
+	model := tally.Edison()
+	if c.AlphaNs > 0 {
+		model.AlphaNs = c.AlphaNs
+	}
+	if c.BetaNsPerWord > 0 {
+		model.BetaNsPerWord = c.BetaNsPerWord
+	}
+	out := c.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	return ibench.Config{
+		Scale:    c.Scale,
+		MaxCores: c.MaxCores,
+		Matrices: c.Matrices,
+		Model:    model,
+		Out:      out,
+	}
+}
+
+// Fig1 holds the regenerated Fig. 1 series: CG + block-Jacobi solve cost,
+// natural vs RCM ordering, across core counts.
+type Fig1 struct {
+	// BandwidthNatural and BandwidthRCM are the matrix bandwidths before
+	// and after the ordering, the mechanism behind the widening gap.
+	BandwidthNatural, BandwidthRCM int
+	res                            *ibench.Fig1Result
+}
+
+// RunFig1 regenerates Fig. 1 and prints its table to cfg.Out.
+func RunFig1(cfg Config) *Fig1 {
+	res := ibench.RunFig1(cfg.internal())
+	return &Fig1{
+		BandwidthNatural: res.BWNatural,
+		BandwidthRCM:     res.BWRCM,
+		res:              res,
+	}
+}
+
+// WriteCSV writes the series in machine-readable form.
+func (f *Fig1) WriteCSV(w io.Writer) error { return ibench.WriteFig1CSV(w, f.res) }
+
+// RunFig3 regenerates the Fig. 3 matrix-suite table: analog sizes,
+// bandwidths before/after RCM, and pseudo-diameters, next to the
+// paper-reported values.
+func RunFig3(cfg Config) { ibench.RunFig3(cfg.internal()) }
+
+// SpyPair renders before/after ASCII spy plots for one suite matrix.
+func SpyPair(cfg Config, name string) (before, after string, err error) {
+	return ibench.SpyPair(cfg.internal(), name)
+}
+
+// RunTable2 regenerates Table II: shared-memory RCM vs the distributed
+// algorithm, wall-clock vs modelled time.
+func RunTable2(cfg Config) { ibench.RunTable2(cfg.internal()) }
+
+// Scaling holds strong-scaling series (one per matrix) shared by Figs. 4
+// and 5.
+type Scaling struct {
+	series []ibench.ScaleSeries
+}
+
+// RunHybridScaling runs the strong-scaling sweep over the paper's hybrid
+// MPI+OpenMP configurations.
+func RunHybridScaling(cfg Config) *Scaling {
+	return &Scaling{series: ibench.RunScaling(cfg.internal(), ibench.HybridConfigs())}
+}
+
+// PrintFig4 renders the per-phase runtime breakdown bars of Fig. 4.
+func (s *Scaling) PrintFig4(cfg Config) { ibench.PrintFig4(cfg.internal(), s.series) }
+
+// PrintFig5 renders the SpMSpV computation-vs-communication split of
+// Fig. 5.
+func (s *Scaling) PrintFig5(cfg Config) { ibench.PrintFig5(cfg.internal(), s.series) }
+
+// WriteCSV writes every scaling point in machine-readable form.
+func (s *Scaling) WriteCSV(w io.Writer) error { return ibench.WriteScalingCSV(w, s.series) }
+
+// RunFig6 regenerates Fig. 6: the flat-MPI (one thread per process)
+// breakdown on the ldoor analog.
+func RunFig6(cfg Config) { ibench.RunFig6(cfg.internal()) }
+
+// RunAblationSort compares the SORTPERM strategies (full distributed sort,
+// process-local sort, no sort) at the given process count — the paper's
+// §VI future-work alternatives.
+func RunAblationSort(cfg Config, procs int) { ibench.RunAblationSort(cfg.internal(), procs) }
+
+// RunAblationSemiring compares deterministic vs randomized tie-breaking in
+// the (select2nd, min) semiring over the given number of seeds.
+func RunAblationSemiring(cfg Config, seeds int) { ibench.RunAblationSemiring(cfg.internal(), seeds) }
+
+// RunAblationHybrid sweeps threads-per-process at fixed total cores.
+func RunAblationHybrid(cfg Config) { ibench.RunAblationHybrid(cfg.internal()) }
+
+// RunAblationLocalFormat compares the CSC and CSR-scan local SpMSpV
+// kernels (§IV-A).
+func RunAblationLocalFormat(cfg Config) { ibench.RunAblationLocalFormat(cfg.internal()) }
+
+// RunAblationDCSC compares CSC vs DCSC (doubly compressed) block storage
+// as the process grid grows and local blocks turn hypersparse.
+func RunAblationDCSC(cfg Config) { ibench.RunAblationDCSC(cfg.internal()) }
+
+// RunQuality measures ordering quality (bandwidth, envelope) as a function
+// of concurrency, checking the paper's §I claim that parallel RCM need not
+// degrade quality.
+func RunQuality(cfg Config) { ibench.RunQuality(cfg.internal(), nil) }
+
+// RunSizeSensitivity varies one matrix's size at fixed model constants,
+// probing the §V-D claim that larger problems scale further.
+func RunSizeSensitivity(cfg Config, name string) {
+	ibench.RunSizeSensitivity(cfg.internal(), name, nil)
+}
+
+// RunSloanComparison contrasts RCM with Sloan's algorithm on envelope and
+// wavefront quality (an extension beyond the paper).
+func RunSloanComparison(cfg Config) { ibench.RunSloanComparison(cfg.internal()) }

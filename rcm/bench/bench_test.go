@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFig1Smoke runs the smallest Fig. 1 regeneration through the public
+// wrapper and checks the CSV side channel.
+func TestFig1Smoke(t *testing.T) {
+	cfg := Config{Scale: 10, MaxCores: 16, Out: io.Discard}
+	f := RunFig1(cfg)
+	if f.BandwidthRCM >= f.BandwidthNatural {
+		t.Errorf("RCM bandwidth %d not below natural %d", f.BandwidthRCM, f.BandwidthNatural)
+	}
+	var csv bytes.Buffer
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines < 2 {
+		t.Errorf("CSV has %d lines", lines)
+	}
+}
+
+// TestScalingSmoke runs one matrix through the scaling harness and the
+// Fig. 4/5 renderers.
+func TestScalingSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{Scale: 12, MaxCores: 16, Matrices: []string{"ldoor"}, Out: &out}
+	s := RunHybridScaling(cfg)
+	s.PrintFig4(cfg)
+	s.PrintFig5(cfg)
+	if !strings.Contains(out.String(), "ldoor") {
+		t.Errorf("renderers did not mention the matrix:\n%s", out.String())
+	}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "ldoor") {
+		t.Error("CSV missing the matrix name")
+	}
+}
+
+// TestModelOverrides checks that the α/β overrides reach the machine model
+// (a larger latency must not make the modelled run faster).
+func TestModelOverrides(t *testing.T) {
+	// MaxCores 24 keeps the 2×2 process grid: below that every surviving
+	// configuration is single-process and never communicates.
+	base := Config{Scale: 12, MaxCores: 24, Matrices: []string{"ldoor"}, Out: io.Discard}
+	slow := base
+	slow.AlphaNs = 1e6
+	var fast, lagged bytes.Buffer
+	if err := RunHybridScaling(base).WriteCSV(&fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunHybridScaling(slow).WriteCSV(&lagged); err != nil {
+		t.Fatal(err)
+	}
+	if fast.String() == lagged.String() {
+		t.Error("α override had no effect on the modelled results")
+	}
+}

@@ -1,0 +1,83 @@
+package rcm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tally"
+)
+
+// PhaseTime is the modelled time spent in one phase of a simulated
+// distributed run, split into local computation and communication. The
+// phase names match the bar segments of the paper's Figs. 4 and 6.
+type PhaseTime struct {
+	Name        string
+	CompSeconds float64
+	CommSeconds float64
+}
+
+// Seconds returns the total modelled time of the phase.
+func (p PhaseTime) Seconds() float64 { return p.CompSeconds + p.CommSeconds }
+
+// Breakdown is the modelled cost of a run on the simulated
+// bulk-synchronous runtime under the α-β-γ machine model: per-phase
+// computation/communication times (averaged over ranks) and the total
+// traffic. It is the data behind the paper's Figs. 4–6.
+type Breakdown struct {
+	// Seconds is the total modelled time (the height of a Fig. 4 bar).
+	Seconds float64
+	// Phases lists the per-phase splits, in the paper's phase order.
+	Phases []PhaseTime
+	// Messages and Words count the traffic summed over all ranks (words
+	// are 8-byte).
+	Messages, Words int64
+}
+
+// newBreakdown converts the internal tally into the public form.
+func newBreakdown(b tally.Breakdown) *Breakdown {
+	out := &Breakdown{
+		Seconds:  tally.Seconds(b.TotalNs()),
+		Messages: b.Msgs,
+		Words:    b.Words,
+	}
+	for p := tally.Phase(0); p < tally.NumPhases; p++ {
+		out.Phases = append(out.Phases, PhaseTime{
+			Name:        p.String(),
+			CompSeconds: tally.Seconds(b.CompNs[p]),
+			CommSeconds: tally.Seconds(b.CommNs[p]),
+		})
+	}
+	return out
+}
+
+// CompSeconds returns the total modelled computation time over all phases.
+func (b *Breakdown) CompSeconds() float64 {
+	var s float64
+	for _, p := range b.Phases {
+		s += p.CompSeconds
+	}
+	return s
+}
+
+// CommSeconds returns the total modelled communication time over all
+// phases.
+func (b *Breakdown) CommSeconds() float64 {
+	var s float64
+	for _, p := range b.Phases {
+		s += p.CommSeconds
+	}
+	return s
+}
+
+// Table renders the per-phase breakdown as an aligned text table.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %10s %10s %10s\n", "phase", "comp (s)", "comm (s)", "total (s)")
+	for _, p := range b.Phases {
+		fmt.Fprintf(&sb, "%-18s %10.4f %10.4f %10.4f\n",
+			p.Name, p.CompSeconds, p.CommSeconds, p.Seconds())
+	}
+	fmt.Fprintf(&sb, "%-18s %10.4f %10.4f %10.4f\n",
+		"total", b.CompSeconds(), b.CommSeconds(), b.Seconds)
+	return sb.String()
+}

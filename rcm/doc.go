@@ -1,0 +1,42 @@
+// Package rcm is the public front door of the repro module: a one-call
+// Reverse Cuthill-McKee ordering pipeline over the four interchangeable
+// implementations of the paper "The Reverse Cuthill-McKee Algorithm in
+// Distributed-Memory" (Azad, Jacquelin, Buluç, Ng — IPDPS 2017,
+// arXiv:1610.08128).
+//
+// The core entry points are
+//
+//	res, err := rcm.Order(a)                  // compute the ordering
+//	p, res, err := rcm.OrderMatrix(a)         // compute and apply it
+//	p, err := rcm.Permute(a, res.Perm)        // apply a permutation
+//
+// configured with functional options:
+//
+//	rcm.Order(a,
+//	    rcm.WithBackend(rcm.Distributed),     // Sequential | Algebraic | Shared | Distributed
+//	    rcm.WithProcs(16),                    // simulated MPI processes (perfect square)
+//	    rcm.WithThreads(6),                   // threads per process / shared-memory threads
+//	    rcm.WithSortMode(rcm.SortLocal),      // frontier labeling strategy (§VI)
+//	    rcm.WithStartHeuristic(rcm.MinDegree))
+//
+// All four backends obey one deterministic contract (ties by vertex id,
+// minimum-label parent attachment, components by smallest vertex id), so
+// they produce the identical permutation; the Result carries the
+// permutation in symrcm convention (Perm[k] = old index of the row placed
+// at position k) together with bandwidth, envelope and wavefront statistics
+// before and after, the pseudo-diameter, the component count, and — for the
+// Distributed backend — the modelled BSP time breakdown behind the paper's
+// Figs. 4–6.
+//
+// The package also re-exports everything an application needs so that no
+// caller ever imports repro/internal/...: Matrix Market I/O (LoadMatrixMarket,
+// SaveMatrixMarket, LoadPermutation, SavePermutation), the synthetic graph
+// generators and the paper's nine-matrix analog suite (Grid2D, Grid3D, RMAT,
+// Suite, ...), and the conjugate-gradient solvers of the paper's Fig. 1
+// motivation (SolvePCG, SolveDistributedPCG, ModelDistributedSolve).
+//
+// The experiment harness that regenerates every table and figure lives in
+// the subpackage repro/rcm/bench and is driven by cmd/rcmbench; see
+// EXPERIMENTS.md. The design of the simulated distributed-memory substrate
+// is documented in DESIGN.md.
+package rcm

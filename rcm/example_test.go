@@ -1,0 +1,93 @@
+package rcm_test
+
+import (
+	"fmt"
+
+	"repro/rcm"
+)
+
+// The quickstart: generate a mesh, scramble it (the "natural" ordering of
+// a matrix arriving from an application), and order it back.
+func ExampleOrder() {
+	mesh := rcm.Grid2D(16, 8)
+	a, _ := rcm.Scramble(mesh, 7)
+
+	res, err := rcm.Order(a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d nnz=%d components=%d\n", a.N(), a.NNZ(), res.Components)
+	fmt.Printf("bandwidth %d -> %d\n", res.Before.Bandwidth, res.After.Bandwidth)
+	fmt.Printf("profile   %d -> %d\n", res.Before.Profile, res.After.Profile)
+	fmt.Printf("valid permutation: %v\n", rcm.IsPermutation(res.Perm))
+	// Output:
+	// n=128 nnz=592 components=1
+	// bandwidth 125 -> 9
+	// profile   5175 -> 932
+	// valid permutation: true
+}
+
+// OrderMatrix with the distributed backend: the paper's algorithm on a
+// simulated 2×2 process grid, returning the reordered matrix directly. The
+// deterministic contract guarantees the distributed permutation equals the
+// sequential one.
+func ExampleOrderMatrix() {
+	a, _ := rcm.Scramble(rcm.Grid3D(6, 5, 4, 1, true), 3)
+
+	p, res, err := rcm.OrderMatrix(a,
+		rcm.WithBackend(rcm.Distributed),
+		rcm.WithProcs(4),
+		rcm.WithThreads(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ordered on %d procs × %d threads\n", res.Procs, res.Threads)
+	fmt.Printf("bandwidth %d -> %d (pseudo-diameter %d)\n",
+		res.Before.Bandwidth, p.Bandwidth(), res.PseudoDiameter)
+
+	seq, _ := rcm.Order(a)
+	same := true
+	for k := range res.Perm {
+		if res.Perm[k] != seq.Perm[k] {
+			same = false
+		}
+	}
+	fmt.Printf("matches sequential ordering: %v\n", same)
+	fmt.Printf("modelled communication recorded: %v\n", res.Modeled.Words > 0)
+	// Output:
+	// ordered on 4 procs × 2 threads
+	// bandwidth 115 -> 20 (pseudo-diameter 12)
+	// matches sequential ordering: true
+	// modelled communication recorded: true
+}
+
+// Permute applies a stored permutation: the file-based workflow of a
+// solver integration (see SavePermutation / LoadPermutation).
+func ExamplePermute() {
+	a, _ := rcm.Scramble(rcm.Grid2D(10, 10), 1)
+	res, _ := rcm.Order(a)
+
+	p, err := rcm.Permute(a, res.Perm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bandwidth %d -> %d\n", a.Bandwidth(), p.Bandwidth())
+	// Output:
+	// bandwidth 91 -> 10
+}
+
+// A non-default starting-vertex heuristic: skip the pseudo-peripheral
+// search and root the BFS at the global minimum-degree vertex.
+func ExampleWithStartHeuristic() {
+	a, _ := rcm.Scramble(rcm.Grid2D(16, 8), 7)
+
+	res, err := rcm.Order(a, rcm.WithStartHeuristic(rcm.MinDegree))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bandwidth %d -> %d with the %v heuristic\n",
+		res.Before.Bandwidth, res.After.Bandwidth, rcm.MinDegree)
+	// Output:
+	// bandwidth 125 -> 9 with the min-degree heuristic
+}

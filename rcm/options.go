@@ -1,0 +1,193 @@
+package rcm
+
+import "fmt"
+
+// Backend selects which of the four interchangeable RCM implementations
+// runs the ordering. All four obey the same deterministic contract and
+// return the identical permutation; they differ in execution model and in
+// what the Result can report.
+type Backend int
+
+const (
+	// Sequential is the classic queue-based RCM of George & Liu
+	// (Algorithms 1 and 2 of the paper). The default.
+	Sequential Backend = iota
+	// Algebraic is the sequential transliteration of the paper's
+	// matrix-algebraic formulation (Algorithms 3 and 4), the
+	// single-process reference for Distributed.
+	Algebraic
+	// Shared is the level-synchronous shared-memory parallel RCM in the
+	// style of Karantasis et al. (SpMP), the paper's shared-memory
+	// baseline; configure with WithThreads.
+	Shared
+	// Distributed is the paper's distributed-memory algorithm on the
+	// simulated bulk-synchronous runtime; configure with WithProcs and
+	// WithThreads. Results carry the modelled time Breakdown.
+	Distributed
+)
+
+// String names the backend as accepted by ParseBackend.
+func (b Backend) String() string {
+	switch b {
+	case Sequential:
+		return "sequential"
+	case Algebraic:
+		return "algebraic"
+	case Shared:
+		return "shared"
+	case Distributed:
+		return "distributed"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a command-line name to a Backend. It accepts the
+// canonical names sequential|algebraic|shared|distributed and the short
+// forms seq|alg|dist.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "sequential", "seq":
+		return Sequential, nil
+	case "algebraic", "alg":
+		return Algebraic, nil
+	case "shared":
+		return Shared, nil
+	case "distributed", "dist":
+		return Distributed, nil
+	}
+	return 0, fmt.Errorf("rcm: unknown backend %q (want sequential|algebraic|shared|distributed)", s)
+}
+
+// SortMode selects how the distributed backend labels each frontier,
+// covering the paper's §VI future-work alternatives to the full
+// distributed sort. It has no effect on the other backends.
+type SortMode int
+
+const (
+	// SortFull is the paper's algorithm: a distributed bucket sort by
+	// (parent label, degree, vertex id) spanning all processes. Only
+	// SortFull preserves the cross-backend deterministic contract.
+	SortFull SortMode = iota
+	// SortLocal sorts only within each process, avoiding the global
+	// all-to-all at some cost in ordering quality.
+	SortLocal
+	// SortNone labels vertices in discovery order, skipping the degree
+	// sort entirely.
+	SortNone
+)
+
+// String names the sort mode.
+func (m SortMode) String() string {
+	switch m {
+	case SortFull:
+		return "full"
+	case SortLocal:
+		return "local"
+	case SortNone:
+		return "none"
+	}
+	return fmt.Sprintf("SortMode(%d)", int(m))
+}
+
+// StartHeuristic selects how the root vertex of the first component's BFS
+// is chosen — the pluggable starting-node policy that RCM++
+// (arXiv:2409.04171) argues materially affects ordering quality.
+type StartHeuristic int
+
+const (
+	// PseudoPeripheral runs the paper's Algorithm 2/4: repeated BFS
+	// sweeps that approximate a vertex of maximal eccentricity. The
+	// default, and the only heuristic that reports a pseudo-diameter.
+	PseudoPeripheral StartHeuristic = iota
+	// MinDegree starts directly from the minimum-(degree, id) vertex,
+	// skipping the pseudo-peripheral search — cheaper, often nearly as
+	// good on mesh-like graphs (the classic Cuthill-McKee prescription).
+	MinDegree
+	// FirstVertex starts directly from the smallest unvisited vertex id,
+	// skipping any search. Mostly useful for tests and baselines.
+	FirstVertex
+)
+
+// String names the heuristic.
+func (h StartHeuristic) String() string {
+	switch h {
+	case PseudoPeripheral:
+		return "pseudo-peripheral"
+	case MinDegree:
+		return "min-degree"
+	case FirstVertex:
+		return "first-vertex"
+	}
+	return fmt.Sprintf("StartHeuristic(%d)", int(h))
+}
+
+// config is the resolved option set of one Order call.
+type config struct {
+	backend     Backend
+	sortMode    SortMode
+	heuristic   StartHeuristic
+	start       int // -1: unset
+	threads     int
+	procs       int
+	seed        int64
+	hypersparse bool
+	noReverse   bool
+	symmetrize  bool
+}
+
+func defaultConfig() config {
+	return config{
+		start:      -1,
+		threads:    1,
+		procs:      1,
+		symmetrize: true,
+	}
+}
+
+// Option configures Order and OrderMatrix.
+type Option func(*config)
+
+// WithBackend selects the implementation that runs the ordering.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithSortMode selects the distributed frontier labeling strategy.
+func WithSortMode(m SortMode) Option { return func(c *config) { c.sortMode = m } }
+
+// WithStartHeuristic selects the starting-vertex policy for the first
+// component (later components always start from their smallest unvisited
+// vertex id, per the deterministic contract).
+func WithStartHeuristic(h StartHeuristic) Option { return func(c *config) { c.heuristic = h } }
+
+// WithStartVertex pins the vertex the first component's search starts from.
+// Under PseudoPeripheral it seeds the peripheral sweeps; under the other
+// heuristics it is used directly as the BFS root.
+func WithStartVertex(v int) Option { return func(c *config) { c.start = v } }
+
+// WithThreads sets the thread count: the worker goroutines of the Shared
+// backend, or the per-process OpenMP-style threads of the Distributed
+// machine model (cores = procs × threads).
+func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
+
+// WithProcs sets the number of simulated MPI processes for the Distributed
+// backend. Like the paper's implementation, it must be a perfect square.
+func WithProcs(p int) Option { return func(c *config) { c.procs = p } }
+
+// WithRandomPermSeed enables the random symmetric load-balancing
+// permutation of §IV-A before a distributed ordering (seed != 0). The
+// permutation is composed back out, so Result.Perm still refers to the
+// caller's matrix — but note the ordering itself may legitimately differ
+// from the unpermuted run, since RCM tie-breaking is id-dependent.
+func WithRandomPermSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithHypersparse stores the distributed backend's local blocks in DCSC
+// (doubly compressed) form, the CombBLAS storage for large process grids.
+func WithHypersparse(on bool) Option { return func(c *config) { c.hypersparse = on } }
+
+// WithoutReverse skips the final reversal, producing the plain
+// Cuthill-McKee order instead of RCM.
+func WithoutReverse() Option { return func(c *config) { c.noReverse = true } }
+
+// WithoutSymmetrize disables the automatic symmetrization of structurally
+// non-symmetric inputs. Order then returns an error for such matrices
+// instead of ordering the pattern of A ∪ Aᵀ.
+func WithoutSymmetrize() Option { return func(c *config) { c.symmetrize = false } }

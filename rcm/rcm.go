@@ -1,0 +1,180 @@
+package rcm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+// Result reports an RCM ordering computation.
+type Result struct {
+	// Perm is the computed permutation in symrcm convention: Perm[k] is
+	// the old row/column index placed at position k of PAPᵀ.
+	Perm []int
+	// Backend is the implementation that ran.
+	Backend Backend
+	// PseudoDiameter is the largest eccentricity estimate found by the
+	// pseudo-peripheral search, maximized over components (Fig. 3
+	// reports this per matrix). Zero when the search was skipped by a
+	// non-default StartHeuristic.
+	PseudoDiameter int
+	// Components is the number of connected components processed.
+	Components int
+	// Before and After are the ordering-quality statistics of the input
+	// in its original order and under Perm.
+	Before, After Stats
+	// Procs and Threads record the parallel configuration (1/1 for the
+	// sequential backends; cores = Procs × Threads for Distributed).
+	Procs, Threads int
+	// Modeled is the modelled BSP time breakdown of the simulated run.
+	// Non-nil only for the Distributed backend.
+	Modeled *Breakdown
+}
+
+// Order computes the Reverse Cuthill-McKee ordering of a. By default it
+// runs the Sequential backend with the pseudo-peripheral starting-vertex
+// search; see the Option constructors for the full configuration surface.
+// Structurally non-symmetric matrices are ordered by the pattern of A ∪ Aᵀ
+// (disable with WithoutSymmetrize); Result.Perm always refers to a itself.
+func Order(a *Matrix, opts ...Option) (*Result, error) {
+	res, _, err := order(a, false, opts)
+	return res, err
+}
+
+// OrderMatrix computes the ordering and applies it, returning the permuted
+// matrix PAPᵀ alongside the Result.
+func OrderMatrix(a *Matrix, opts ...Option) (*Matrix, *Result, error) {
+	res, p, err := order(a, true, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, res, nil
+}
+
+// Permute applies a permutation in symrcm convention, returning PAPᵀ. It
+// is the inverse-free companion of Order for callers that persist
+// permutations (see SavePermutation / LoadPermutation).
+func Permute(a *Matrix, perm []int) (*Matrix, error) {
+	if a == nil || a.csr == nil {
+		return nil, fmt.Errorf("rcm: nil matrix")
+	}
+	return a.Permute(perm)
+}
+
+// order validates, runs the selected backend, and assembles the Result.
+// The permuted matrix is computed for the After statistics either way and
+// returned when wantMatrix is set.
+func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) {
+	if a == nil || a.csr == nil {
+		return nil, nil, fmt.Errorf("rcm: nil matrix")
+	}
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.start != -1 && (c.start < 0 || c.start >= a.csr.N) {
+		return nil, nil, fmt.Errorf("rcm: start vertex %d outside 0..%d", c.start, a.csr.N-1)
+	}
+	if c.threads < 1 {
+		return nil, nil, fmt.Errorf("rcm: threads must be >= 1, got %d", c.threads)
+	}
+
+	// The graph the algorithms traverse: symmetric by construction.
+	g := a.csr
+	if !g.IsSymmetricPattern() {
+		if !c.symmetrize {
+			return nil, nil, fmt.Errorf("rcm: pattern is not symmetric (enable symmetrization or pre-apply Symmetrize)")
+		}
+		g = g.Symmetrize()
+	}
+
+	copt, err := c.coreOptions(g)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{Backend: c.backend, Procs: 1, Threads: 1}
+	switch c.backend {
+	case Sequential:
+		fill(res, core.SequentialOpt(g, copt))
+	case Algebraic:
+		fill(res, core.AlgebraicOpt(g, copt))
+	case Shared:
+		fill(res, core.SharedOpt(g, c.threads, copt))
+		res.Threads = c.threads
+	case Distributed:
+		if q := isqrt(c.procs); c.procs < 1 || q*q != c.procs {
+			return nil, nil, fmt.Errorf("rcm: distributed backend needs a square process count, got %d", c.procs)
+		}
+		d := core.Distributed(g, core.DistOptions{
+			Procs:          c.procs,
+			Model:          tally.Edison().WithThreads(c.threads),
+			SortMode:       core.SortMode(c.sortMode),
+			RandomPermSeed: c.seed,
+			Hypersparse:    c.hypersparse,
+			Options:        copt,
+		})
+		fill(res, &d.Ordering)
+		res.Procs, res.Threads = d.Procs, d.Threads
+		res.Modeled = newBreakdown(d.Breakdown)
+	default:
+		return nil, nil, fmt.Errorf("rcm: unknown backend %v", c.backend)
+	}
+
+	res.Before = a.Stats()
+	p, err := a.Permute(res.Perm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rcm: internal error: backend returned an invalid permutation: %w", err)
+	}
+	res.After = p.Stats()
+	if !wantMatrix {
+		p = nil
+	}
+	return res, p, nil
+}
+
+// coreOptions translates the facade's starting-vertex policy into the
+// engine's Options. For MinDegree the root is resolved here (the engine
+// only knows fixed starts), preserving the global minimum-(degree, id)
+// prescription of the classic algorithm.
+func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
+	opt := core.Options{Start: c.start, NoReverse: c.noReverse}
+	switch c.heuristic {
+	case PseudoPeripheral:
+		// The search refines whatever the start is.
+	case MinDegree:
+		opt.SkipPeripheral = true
+		if opt.Start < 0 && g.N > 0 {
+			deg := g.Degrees()
+			best := 0
+			for v := 1; v < g.N; v++ {
+				if deg[v] < deg[best] {
+					best = v
+				}
+			}
+			opt.Start = best
+		}
+	case FirstVertex:
+		opt.SkipPeripheral = true
+	default:
+		return core.Options{}, fmt.Errorf("rcm: unknown start heuristic %v", c.heuristic)
+	}
+	return opt, nil
+}
+
+// fill copies the engine ordering into the public Result.
+func fill(res *Result, o *core.Ordering) {
+	res.Perm = o.Perm
+	res.PseudoDiameter = o.PseudoDiameter
+	res.Components = o.Components
+}
+
+func isqrt(n int) int {
+	q := 0
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q
+}
