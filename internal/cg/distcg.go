@@ -87,6 +87,13 @@ type cgRank struct {
 	// ghostVal maps a global ghost column to its slot in the received
 	// value buffer.
 	ghostPos map[int]int
+
+	// Per-iteration halo scratch, sized once from the plan: sendBufs[o]
+	// is the reusable value buffer for owner o, ghostBuf receives the
+	// concatenated ghost values, counts the per-owner receive counts.
+	sendBufs [][]float64
+	ghostBuf []float64
+	counts   []int
 }
 
 func rowStart(n, procs, k int) int { return k * n / procs }
@@ -169,38 +176,36 @@ func newCGRank(c *comm.Comm, a *spmat.CSR) *cgRank {
 			r.sendIdx[o] = append(r.sendIdx[o], g-r.lo)
 		}
 	}
+	// Size the per-iteration halo scratch from the fixed plan.
+	r.sendBufs = make([][]float64, c.Size())
+	for o, idx := range r.sendIdx {
+		if len(idx) > 0 {
+			r.sendBufs[o] = make([]float64, len(idx))
+		}
+	}
+	r.ghostBuf = make([]float64, 0, len(r.ghostPos))
+	r.counts = make([]int, c.Size())
 	return r
 }
 
 // haloExchange distributes the needed remote entries of p (local slice) and
-// returns the ghost value buffer aligned with ghostPos.
+// returns the ghost value buffer aligned with ghostPos. The send buffers
+// and the receive buffer come from the rank's scratch, so the steady-state
+// iteration allocates nothing: owner buckets are disjoint sorted global
+// ranges and ghostIdx[o] is sorted within each owner, so the concatenated
+// receive buffer is already in ghostPos order.
 func (r *cgRank) haloExchange(p []float64) []float64 {
-	send := make([][]float64, r.c.Size())
 	work := 0
 	for o, idx := range r.sendIdx {
-		if len(idx) == 0 {
-			continue
-		}
-		buf := make([]float64, len(idx))
+		buf := r.sendBufs[o]
 		for k, li := range idx {
 			buf[k] = p[li]
 		}
-		send[o] = buf
 		work += len(idx)
 	}
 	r.c.Stats().AddWork(int64(work))
-	recv := comm.AllToAllv(r.c, send)
-	// Reassemble in ghost order: owner buckets are disjoint sorted
-	// ranges, and ghostIdx[o] is sorted, so concatenation by owner then
-	// position matches ghostPos.
-	out := make([]float64, len(r.ghostPos))
-	for o, idx := range r.ghostIdx {
-		vals := recv[o]
-		for k, g := range idx {
-			out[r.ghostPos[g]] = vals[k]
-		}
-	}
-	return out
+	r.ghostBuf, r.counts = comm.AllToAllvConcat(r.c, r.sendBufs, r.ghostBuf, r.counts)
+	return r.ghostBuf
 }
 
 // localSpMV computes the block row times the full x (local + ghosts).

@@ -26,6 +26,7 @@ func BenchmarkBarrier(b *testing.B) {
 func BenchmarkAllGatherv(b *testing.B) {
 	for _, p := range benchSizes() {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			payload := make([]int64, 64)
 			Run(p, nil, func(c *Comm) {
 				for i := 0; i < b.N; i++ {
@@ -36,9 +37,27 @@ func BenchmarkAllGatherv(b *testing.B) {
 	}
 }
 
+// BenchmarkAllGathervConcatInto measures the steady-state (scratch-reusing)
+// gather path of the SpMSpV pipeline; allocs/op should stay at zero.
+func BenchmarkAllGathervConcatInto(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			payload := make([]int64, 64)
+			Run(p, nil, func(c *Comm) {
+				var buf []int64
+				for i := 0; i < b.N; i++ {
+					buf = AllGathervConcatInto(c, payload, buf)
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkAllToAllv(b *testing.B) {
 	for _, p := range benchSizes() {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			Run(p, nil, func(c *Comm) {
 				send := make([][]int64, c.Size())
 				for d := range send {
@@ -52,9 +71,31 @@ func BenchmarkAllToAllv(b *testing.B) {
 	}
 }
 
+// BenchmarkAllToAllvConcat measures the steady-state personalized exchange
+// with scratch reuse; allocs/op should stay at zero.
+func BenchmarkAllToAllvConcat(b *testing.B) {
+	for _, p := range benchSizes() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			Run(p, nil, func(c *Comm) {
+				send := make([][]int64, c.Size())
+				for d := range send {
+					send[d] = make([]int64, 16)
+				}
+				var buf []int64
+				var counts []int
+				for i := 0; i < b.N; i++ {
+					buf, counts = AllToAllvConcat(c, send, buf, counts)
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkAllReduce(b *testing.B) {
 	for _, p := range benchSizes() {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			Run(p, nil, func(c *Comm) {
 				for i := 0; i < b.N; i++ {
 					AllReduceSum(c, int64(i))

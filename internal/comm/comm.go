@@ -11,6 +11,23 @@
 // cost of the operation is added. This reproduces the T = F + αS + βW
 // accounting the paper uses in §IV-B.
 //
+// The exchange area is typed and reflection-free. A deposit publishes a
+// type-erased pointer to the rank's payload (the slice's backing array, or a
+// single value) plus its length; the generic collectives reconstruct the
+// peers' payloads with unsafe.Slice at their static element type, so no
+// payload is ever boxed into an interface and no sizing goes through
+// reflect. The slot array is allocated once per communicator and reused by
+// every collective — the pooled exchange area. The pointer lives in the slot
+// only between the two barriers of a collective, and the barriers' mutex
+// establishes the happens-before edges that make the cross-goroutine reads
+// safe (the race detector agrees; see the -race CI job).
+//
+// Collectives that return data come in two flavours: the plain form returns
+// fresh slices, and the Into form appends into a caller-supplied scratch
+// buffer so steady-state callers (SpMSpV, SORTPERM, halo exchanges) can run
+// allocation-free. Either way the data is copied out of the exchange before
+// the releasing barrier, so senders may immediately reuse their buffers.
+//
 // Semantics follow MPI: all members of a communicator must call the same
 // collectives in the same order. Sub-communicators are created with Split,
 // which is how the 2D grid's row and column communicators are built.
@@ -18,18 +35,22 @@ package comm
 
 import (
 	"fmt"
-	"reflect"
 	"sort"
 	"sync"
+	"unsafe"
 
 	"repro/internal/tally"
 )
 
-// slotEntry is one rank's deposit in the shared exchange area.
+// slotEntry is one rank's deposit in the shared exchange area: a type-erased
+// pointer to the payload (reconstructed by the generic collectives at their
+// static type), the payload's element count, and the depositor's virtual
+// clock. unsafe.Pointer is traced by the garbage collector, so the payload
+// stays alive for exactly as long as the slot references it.
 type slotEntry struct {
-	data  any
+	ptr   unsafe.Pointer
+	n     int
 	clock float64
-	aux   int64
 }
 
 // barrier is a reusable sense-reversing barrier.
@@ -122,12 +143,11 @@ func Run(p int, model *tally.Model, f func(c *Comm)) []*tally.Stats {
 	return stats
 }
 
-// elemWords returns the size of T in 8-byte words (at least 1 fractional
-// word; sizes are rounded up to whole bytes then divided out as float).
+// elemWords returns the size of T in 8-byte words (fractional; sizes are
+// known at compile time, no reflection involved).
 func elemWords[T any]() float64 {
 	var z T
-	sz := reflect.TypeOf(&z).Elem().Size()
-	return float64(sz) / 8
+	return float64(unsafe.Sizeof(z)) / 8
 }
 
 func words[T any](n int) int64 {
@@ -139,13 +159,46 @@ func words[T any](n int) int64 {
 	return iw
 }
 
-// deposit writes this rank's entry and synchronizes; on return every member's
-// entry is visible. The returned function must be called once the caller has
-// finished reading other ranks' entries; it releases the exchange for reuse.
-func (c *Comm) deposit(data any, aux int64) (release func()) {
-	c.slots[c.rank] = slotEntry{data: data, clock: c.stats.ClockNs(), aux: aux}
+// deposit publishes this rank's payload pointer and synchronizes; on return
+// every member's entry is visible. The caller must call release exactly once
+// after it has finished copying other ranks' payloads out of the exchange;
+// that frees the exchange for reuse. (deposit does not return a release
+// closure: a bound method value would allocate on every collective.)
+func (c *Comm) deposit(ptr unsafe.Pointer, n int) {
+	c.slots[c.rank] = slotEntry{ptr: ptr, n: n, clock: c.stats.ClockNs()}
 	c.bar.wait()
-	return c.bar.wait
+}
+
+// release is the second barrier of a collective, paired with deposit.
+func (c *Comm) release() { c.bar.wait() }
+
+// depositSlice publishes the backing array of a local slice (no copy, no
+// boxing).
+func depositSlice[T any](c *Comm, local []T) {
+	c.deposit(unsafe.Pointer(unsafe.SliceData(local)), len(local))
+}
+
+// depositVal publishes a single value. The value escapes to the heap (one
+// word-sized allocation); slot pointers keep it alive until the release.
+func depositVal[T any](c *Comm, val T) {
+	v := val
+	c.deposit(unsafe.Pointer(&v), 1)
+}
+
+// peek returns rank r's deposited payload viewed as a []T. The view aliases
+// the depositor's memory and is only valid until the release; callers copy
+// out of it, never retain it.
+func peek[T any](c *Comm, r int) []T {
+	e := &c.slots[r]
+	if e.n == 0 || e.ptr == nil {
+		return nil
+	}
+	return unsafe.Slice((*T)(e.ptr), e.n)
+}
+
+// peekVal returns rank r's deposited single value.
+func peekVal[T any](c *Comm, r int) T {
+	return *(*T)(c.slots[r].ptr)
 }
 
 // maxClock scans the deposited entries for the maximum virtual clock.
@@ -164,11 +217,29 @@ func (c *Comm) Barrier() {
 	if c.size == 1 {
 		return
 	}
-	release := c.deposit(nil, 0)
+	c.deposit(nil, 0)
 	sync := c.maxClock()
 	cost := c.model.BarrierCost(c.size)
 	c.stats.CommSync(sync, cost, 1, 0)
-	release()
+	c.release()
+}
+
+// AllGather gathers one value per rank; the result is indexed by rank.
+func AllGather[T any](c *Comm, val T) []T {
+	out := make([]T, c.size)
+	if c.size == 1 {
+		out[0] = val
+		return out
+	}
+	depositVal(c, val)
+	sync := c.maxClock()
+	for i := 0; i < c.size; i++ {
+		out[i] = peekVal[T](c, i)
+	}
+	cost := c.model.AllGatherCost(c.size, int64(c.size)*words[T](1))
+	c.stats.CommSync(sync, cost, int64(c.size-1), words[T](1)*int64(c.size-1))
+	c.release()
+	return out
 }
 
 // AllGatherv gathers every rank's local slice; the result is indexed by rank.
@@ -179,46 +250,79 @@ func AllGatherv[T any](c *Comm, local []T) [][]T {
 		out[0] = append([]T(nil), local...)
 		return out
 	}
-	release := c.deposit(local, 0)
+	depositSlice(c, local)
 	sync := c.maxClock()
 	out := make([][]T, c.size)
 	var totalWords int64
 	for i := 0; i < c.size; i++ {
-		src := c.slots[i].data.([]T)
+		src := peek[T](c, i)
 		out[i] = append([]T(nil), src...)
 		totalWords += words[T](len(src))
 	}
 	cost := c.model.AllGatherCost(c.size, totalWords)
 	sent := words[T](len(local)) * int64(c.size-1)
 	c.stats.CommSync(sync, cost, int64(c.size-1), sent)
-	release()
+	c.release()
 	return out
 }
 
 // AllGathervConcat gathers every rank's local slice and concatenates the
 // pieces in rank order.
 func AllGathervConcat[T any](c *Comm, local []T) []T {
+	return AllGathervConcatInto(c, local, nil)
+}
+
+// AllGathervConcatInto is AllGathervConcat appending into into[:0] (grown as
+// needed); the returned slice is the concatenation and shares into's storage
+// when it fits. Passing nil allocates fresh.
+func AllGathervConcatInto[T any](c *Comm, local []T, into []T) []T {
 	if c.size == 1 {
-		return append([]T(nil), local...)
+		return append(into[:0], local...)
 	}
-	release := c.deposit(local, 0)
+	depositSlice(c, local)
 	sync := c.maxClock()
 	total := 0
 	var totalWords int64
 	for i := 0; i < c.size; i++ {
-		n := len(c.slots[i].data.([]T))
+		n := c.slots[i].n
 		total += n
 		totalWords += words[T](n)
 	}
-	out := make([]T, 0, total)
+	out := into[:0]
+	if cap(out) < total {
+		out = make([]T, 0, total)
+	}
 	for i := 0; i < c.size; i++ {
-		out = append(out, c.slots[i].data.([]T)...)
+		out = append(out, peek[T](c, i)...)
 	}
 	cost := c.model.AllGatherCost(c.size, totalWords)
 	sent := words[T](len(local)) * int64(c.size-1)
 	c.stats.CommSync(sync, cost, int64(c.size-1), sent)
-	release()
+	c.release()
 	return out
+}
+
+// allToAllvCost charges the modelled cost and traffic counters of a
+// personalized exchange with the given send lists and received word count.
+func allToAllvCost[T any](c *Comm, sync float64, send [][]T, recvWords int64) {
+	var sentWords int64
+	var msgs int64
+	for i := 0; i < c.size; i++ {
+		if i == c.rank {
+			continue
+		}
+		n := len(send[i])
+		sentWords += words[T](n)
+		if n > 0 {
+			msgs++
+		}
+	}
+	moved := sentWords
+	if recvWords > moved {
+		moved = recvWords
+	}
+	cost := c.model.AllToAllCost(c.size, moved)
+	c.stats.CommSync(sync, cost, msgs, sentWords)
 }
 
 // AllToAllv performs a personalized exchange: send[i] goes to rank i, and
@@ -231,31 +335,59 @@ func AllToAllv[T any](c *Comm, send [][]T) [][]T {
 	if c.size == 1 {
 		return [][]T{append([]T(nil), send[0]...)}
 	}
-	release := c.deposit(send, 0)
+	depositSlice(c, send)
 	sync := c.maxClock()
 	recv := make([][]T, c.size)
-	var sentWords, recvWords int64
-	var msgs int64
+	var recvWords int64
 	for i := 0; i < c.size; i++ {
-		theirs := c.slots[i].data.([][]T)
+		theirs := peek[[]T](c, i)
 		recv[i] = append([]T(nil), theirs[c.rank]...)
 		recvWords += words[T](len(theirs[c.rank]))
-		if i != c.rank {
-			n := len(send[i])
-			sentWords += words[T](n)
-			if n > 0 {
-				msgs++
-			}
-		}
 	}
-	moved := sentWords
-	if recvWords > moved {
-		moved = recvWords
-	}
-	cost := c.model.AllToAllCost(c.size, moved)
-	c.stats.CommSync(sync, cost, msgs, sentWords)
-	release()
+	allToAllvCost(c, sync, send, recvWords)
+	c.release()
 	return recv
+}
+
+// AllToAllvConcat performs a personalized exchange and returns the received
+// pieces concatenated in source-rank order, together with the per-source
+// counts. into and counts are optional scratch buffers reused when large
+// enough, so steady-state callers can exchange without allocating; pass nil
+// to allocate fresh. The concatenation is the natural form for callers that
+// merge the pieces anyway (SpMSpV, SORTPERM, halo exchange).
+func AllToAllvConcat[T any](c *Comm, send [][]T, into []T, counts []int) ([]T, []int) {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("comm: AllToAllvConcat send has %d buffers for %d ranks", len(send), c.size))
+	}
+	if cap(counts) < c.size {
+		counts = make([]int, c.size)
+	}
+	counts = counts[:c.size]
+	if c.size == 1 {
+		counts[0] = len(send[0])
+		return append(into[:0], send[0]...), counts
+	}
+	depositSlice(c, send)
+	sync := c.maxClock()
+	total := 0
+	for i := 0; i < c.size; i++ {
+		theirs := peek[[]T](c, i)
+		counts[i] = len(theirs[c.rank])
+		total += counts[i]
+	}
+	out := into[:0]
+	if cap(out) < total {
+		out = make([]T, 0, total)
+	}
+	var recvWords int64
+	for i := 0; i < c.size; i++ {
+		theirs := peek[[]T](c, i)
+		out = append(out, theirs[c.rank]...)
+		recvWords += words[T](len(theirs[c.rank]))
+	}
+	allToAllvCost(c, sync, send, recvWords)
+	c.release()
+	return out, counts
 }
 
 // AllReduce folds one value per rank with op, in rank order, and returns the
@@ -265,16 +397,42 @@ func AllReduce[T any](c *Comm, val T, op func(a, b T) T) T {
 	if c.size == 1 {
 		return val
 	}
-	release := c.deposit(val, 0)
+	depositVal(c, val)
 	sync := c.maxClock()
-	acc := c.slots[0].data.(T)
+	acc := peekVal[T](c, 0)
 	for i := 1; i < c.size; i++ {
-		acc = op(acc, c.slots[i].data.(T))
+		acc = op(acc, peekVal[T](c, i))
 	}
 	cost := c.model.AllReduceCost(c.size, words[T](1))
 	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2*words[T](1))
-	release()
+	c.release()
 	return acc
+}
+
+// Reduce folds one value per rank with op, in rank order, delivering the
+// result at root only; other ranks receive their own val back unchanged (the
+// MPI_Reduce contract of "recvbuf significant only at root").
+func Reduce[T any](c *Comm, val T, op func(a, b T) T, root int) T {
+	if c.size == 1 {
+		return val
+	}
+	depositVal(c, val)
+	sync := c.maxClock()
+	out := val
+	if c.rank == root {
+		out = peekVal[T](c, 0)
+		for i := 1; i < c.size; i++ {
+			out = op(out, peekVal[T](c, i))
+		}
+	}
+	cost := c.model.AllReduceCost(c.size, words[T](1))
+	var msgs, sent int64
+	if c.rank != root {
+		msgs, sent = 1, words[T](1)
+	}
+	c.stats.CommSync(sync, cost, msgs, sent)
+	c.release()
+	return out
 }
 
 // AllReduceSum is AllReduce specialised to integer sums.
@@ -282,24 +440,31 @@ func AllReduceSum(c *Comm, val int64) int64 {
 	return AllReduce(c, val, func(a, b int64) int64 { return a + b })
 }
 
-// ExScan returns the exclusive prefix sum over ranks of val (rank 0 gets 0),
-// together with the total sum on every rank.
-func ExScan(c *Comm, val int64) (prefix, total int64) {
+// Addable is the constraint of ExScan: element types with a built-in +.
+type Addable interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// ExScan returns the exclusive prefix sum over ranks of val (rank 0 gets the
+// zero value), together with the total sum on every rank.
+func ExScan[T Addable](c *Comm, val T) (prefix, total T) {
 	if c.size == 1 {
-		return 0, val
+		return prefix, val
 	}
-	release := c.deposit(val, 0)
+	depositVal(c, val)
 	sync := c.maxClock()
 	for i := 0; i < c.size; i++ {
-		v := c.slots[i].data.(int64)
+		v := peekVal[T](c, i)
 		if i < c.rank {
 			prefix += v
 		}
 		total += v
 	}
-	cost := c.model.AllReduceCost(c.size, 1)
-	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2)
-	release()
+	cost := c.model.AllReduceCost(c.size, words[T](1))
+	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2*words[T](1))
+	c.release()
 	return prefix, total
 }
 
@@ -308,20 +473,20 @@ func Bcast[T any](c *Comm, val T, root int) T {
 	if c.size == 1 {
 		return val
 	}
-	var dep any
 	if c.rank == root {
-		dep = val
+		depositVal(c, val)
+	} else {
+		c.deposit(nil, 0)
 	}
-	release := c.deposit(dep, 0)
 	sync := c.maxClock()
-	out := c.slots[root].data.(T)
+	out := peekVal[T](c, root)
 	cost := c.model.AllGatherCost(c.size, words[T](1))
 	var msgs, sent int64
 	if c.rank == root {
 		msgs, sent = int64(log2int(c.size)), words[T](1)
 	}
 	c.stats.CommSync(sync, cost, msgs, sent)
-	release()
+	c.release()
 	return out
 }
 
@@ -330,13 +495,13 @@ func BcastSlice[T any](c *Comm, data []T, root int) []T {
 	if c.size == 1 {
 		return append([]T(nil), data...)
 	}
-	var dep any
 	if c.rank == root {
-		dep = data
+		depositSlice(c, data)
+	} else {
+		c.deposit(nil, 0)
 	}
-	release := c.deposit(dep, 0)
 	sync := c.maxClock()
-	src := c.slots[root].data.([]T)
+	src := peek[T](c, root)
 	out := append([]T(nil), src...)
 	cost := c.model.AllGatherCost(c.size, words[T](len(src)))
 	var msgs, sent int64
@@ -344,7 +509,7 @@ func BcastSlice[T any](c *Comm, data []T, root int) []T {
 		msgs, sent = int64(log2int(c.size)), words[T](len(src))
 	}
 	c.stats.CommSync(sync, cost, msgs, sent)
-	release()
+	c.release()
 	return out
 }
 
@@ -354,21 +519,21 @@ func Gatherv[T any](c *Comm, local []T, root int) []T {
 	if c.size == 1 {
 		return append([]T(nil), local...)
 	}
-	release := c.deposit(local, 0)
+	depositSlice(c, local)
 	sync := c.maxClock()
 	var out []T
 	var totalWords int64
 	for i := 0; i < c.size; i++ {
-		totalWords += words[T](len(c.slots[i].data.([]T)))
+		totalWords += words[T](c.slots[i].n)
 	}
 	if c.rank == root {
 		total := 0
 		for i := 0; i < c.size; i++ {
-			total += len(c.slots[i].data.([]T))
+			total += c.slots[i].n
 		}
 		out = make([]T, 0, total)
 		for i := 0; i < c.size; i++ {
-			out = append(out, c.slots[i].data.([]T)...)
+			out = append(out, peek[T](c, i)...)
 		}
 	}
 	cost := c.model.AllGatherCost(c.size, totalWords) // tree gather, same α term
@@ -377,7 +542,7 @@ func Gatherv[T any](c *Comm, local []T, root int) []T {
 		msgs, sent = 1, words[T](len(local))
 	}
 	c.stats.CommSync(sync, cost, msgs, sent)
-	release()
+	c.release()
 	return out
 }
 
@@ -389,21 +554,25 @@ func Gatherv[T any](c *Comm, local []T, root int) []T {
 // bulk-synchronous, matching how the CombBLAS vector transpose behaves
 // between two barriers.
 func Exchange[T any](c *Comm, partner int, data []T) []T {
+	return ExchangeInto(c, partner, data, nil)
+}
+
+// ExchangeInto is Exchange appending into into[:0] (grown as needed).
+func ExchangeInto[T any](c *Comm, partner int, data []T, into []T) []T {
 	if partner == c.rank {
-		out := append([]T(nil), data...)
 		// Still participate in the collective step.
 		if c.size > 1 {
-			release := c.deposit(data, 0)
+			c.deposit(nil, 0)
 			sync := c.maxClock()
 			c.stats.CommSync(sync, 0, 0, 0)
-			release()
+			c.release()
 		}
-		return out
+		return append(into[:0], data...)
 	}
-	release := c.deposit(data, 0)
+	depositSlice(c, data)
 	sync := c.maxClock()
-	src := c.slots[partner].data.([]T)
-	out := append([]T(nil), src...)
+	src := peek[T](c, partner)
+	out := append(into[:0], src...)
 	w := words[T](len(data))
 	rw := words[T](len(src))
 	if rw > w {
@@ -411,7 +580,7 @@ func Exchange[T any](c *Comm, partner int, data []T) []T {
 	}
 	cost := c.model.P2PCost(w)
 	c.stats.CommSync(sync, cost, 1, words[T](len(data)))
-	release()
+	c.release()
 	return out
 }
 
@@ -433,11 +602,11 @@ func (c *Comm) Split(color, key int) *Comm {
 		return &Comm{rank: 0, size: 1, slots: make([]slotEntry, 1), bar: newBarrier(1), stats: c.stats, model: c.model}
 	}
 	// Round 1: gather everyone's (color, key).
-	keys := AllGatherv(c, []splitKey{{color, key, c.rank}})
+	keys := AllGather(c, splitKey{color, key, c.rank})
 	group := make([]splitKey, 0, c.size)
-	for _, ks := range keys {
-		if ks[0].color == color {
-			group = append(group, ks[0])
+	for _, k := range keys {
+		if k.color == color {
+			group = append(group, k)
 		}
 	}
 	sort.Slice(group, func(i, j int) bool {
@@ -456,16 +625,16 @@ func (c *Comm) Split(color, key int) *Comm {
 	leader := group[0].rank
 	// Round 2: the leader of each group allocates the shared state and
 	// publishes it in its own slot; members read it.
-	var dep any
 	if c.rank == leader {
-		dep = splitShare{slots: make([]slotEntry, len(group)), bar: newBarrier(len(group))}
+		depositVal(c, splitShare{slots: make([]slotEntry, len(group)), bar: newBarrier(len(group))})
+	} else {
+		c.deposit(nil, 0)
 	}
-	release := c.deposit(dep, 0)
-	share := c.slots[leader].data.(splitShare)
+	share := peekVal[splitShare](c, leader)
 	sub := &Comm{rank: newRank, size: len(group), slots: share.slots, bar: share.bar, stats: c.stats, model: c.model}
 	sync := c.maxClock()
 	c.stats.CommSync(sync, c.model.AllGatherCost(c.size, int64(c.size)), 1, 1)
-	release()
+	c.release()
 	return sub
 }
 

@@ -1,0 +1,341 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Table-driven tests of the typed collectives. Every case runs over the
+// world communicator and over Split sub-communicators (grid rows), at
+// several world sizes including 1, with empty payloads included, verifying
+// the typed zero-reflection exchange end to end.
+
+// commUnderTest names one communicator to exercise: the world itself, or a
+// row sub-communicator of a 2-column split.
+type commUnderTest struct {
+	name  string
+	build func(c *Comm) *Comm
+}
+
+func commsUnderTest() []commUnderTest {
+	return []commUnderTest{
+		{"world", func(c *Comm) *Comm { return c }},
+		{"split-rows", func(c *Comm) *Comm {
+			cols := 2
+			if c.Size() < 2 {
+				cols = 1
+			}
+			return c.Split(c.Rank()/cols, c.Rank()%cols)
+		}},
+	}
+}
+
+func worldSizes() []int { return []int{1, 2, 4, 6} }
+
+// forEachComm runs body on every (world size, communicator) combination.
+func forEachComm(t *testing.T, body func(t *testing.T, world, sub *Comm)) {
+	t.Helper()
+	for _, p := range worldSizes() {
+		for _, cut := range commsUnderTest() {
+			t.Run(fmt.Sprintf("p%d/%s", p, cut.name), func(t *testing.T) {
+				Run(p, nil, func(c *Comm) {
+					body(t, c, cut.build(c))
+				})
+			})
+		}
+	}
+}
+
+func TestTableAllGather(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		got := AllGather(sub, sub.Rank()*7)
+		if len(got) != sub.Size() {
+			t.Errorf("len %d, want %d", len(got), sub.Size())
+		}
+		for r, v := range got {
+			if v != r*7 {
+				t.Errorf("got[%d] = %d, want %d", r, v, r*7)
+			}
+		}
+	})
+}
+
+func TestTableAllGathervEmptyPayloads(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		// Odd ranks contribute nothing; rank r contributes r copies of r.
+		var local []int
+		if sub.Rank()%2 == 0 {
+			for k := 0; k < sub.Rank(); k++ {
+				local = append(local, sub.Rank())
+			}
+		}
+		got := AllGatherv(sub, local)
+		for r, piece := range got {
+			want := 0
+			if r%2 == 0 {
+				want = r
+			}
+			if len(piece) != want {
+				t.Errorf("piece %d: len %d, want %d", r, len(piece), want)
+			}
+			for _, v := range piece {
+				if v != r {
+					t.Errorf("piece %d holds %d", r, v)
+				}
+			}
+		}
+	})
+}
+
+func TestTableAllGathervConcatInto(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		scratch := make([]int64, 0, 64)
+		for round := 0; round < 3; round++ {
+			local := []int64{int64(sub.Rank()*10 + round)}
+			if sub.Rank() == 0 {
+				local = nil // empty contribution from rank 0
+			}
+			scratch = AllGathervConcatInto(sub, local, scratch)
+			want := sub.Size() - 1
+			if sub.Size() == 1 {
+				want = 0
+			}
+			if len(scratch) != want {
+				t.Fatalf("round %d: len %d, want %d", round, len(scratch), want)
+			}
+			for k, v := range scratch {
+				if v != int64((k+1)*10+round) {
+					t.Errorf("round %d: got[%d] = %d", round, k, v)
+				}
+			}
+		}
+	})
+}
+
+func TestTableAllToAllv(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		p := sub.Size()
+		send := make([][]int, p)
+		for dst := 0; dst < p; dst++ {
+			for k := 0; k <= (sub.Rank()+dst)%3; k++ {
+				send[dst] = append(send[dst], sub.Rank()*100+dst)
+			}
+		}
+		recv := AllToAllv(sub, send)
+		for src := 0; src < p; src++ {
+			want := (src+sub.Rank())%3 + 1
+			if len(recv[src]) != want {
+				t.Errorf("from %d: %d items, want %d", src, len(recv[src]), want)
+			}
+			for _, v := range recv[src] {
+				if v != src*100+sub.Rank() {
+					t.Errorf("from %d: value %d", src, v)
+				}
+			}
+		}
+	})
+}
+
+func TestTableAllToAllvConcat(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		p := sub.Size()
+		send := make([][]int, p)
+		for dst := 0; dst < p; dst++ {
+			if dst%2 == 1 {
+				continue // empty buffers to odd destinations
+			}
+			for k := 0; k < sub.Rank()+1; k++ {
+				send[dst] = append(send[dst], sub.Rank()*100+dst)
+			}
+		}
+		var scratch []int
+		var counts []int
+		for round := 0; round < 2; round++ { // scratch reuse across rounds
+			scratch, counts = AllToAllvConcat(sub, send, scratch, counts)
+			pos := 0
+			for src := 0; src < p; src++ {
+				want := 0
+				if sub.Rank()%2 == 0 {
+					want = src + 1
+				}
+				if counts[src] != want {
+					t.Fatalf("round %d: counts[%d] = %d, want %d", round, src, counts[src], want)
+				}
+				for k := 0; k < counts[src]; k++ {
+					if scratch[pos+k] != src*100+sub.Rank() {
+						t.Errorf("from %d item %d: %d", src, k, scratch[pos+k])
+					}
+				}
+				pos += counts[src]
+			}
+			if pos != len(scratch) {
+				t.Fatalf("counts sum %d != len %d", pos, len(scratch))
+			}
+		}
+	})
+}
+
+func TestTableAllReduceAndReduce(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		p := sub.Size()
+		sum := AllReduce(sub, sub.Rank()+1, func(a, b int) int { return a + b })
+		if sum != p*(p+1)/2 {
+			t.Errorf("allreduce sum = %d, want %d", sum, p*(p+1)/2)
+		}
+		root := p - 1
+		got := Reduce(sub, sub.Rank()+1, func(a, b int) int { return a + b }, root)
+		if sub.Rank() == root && got != p*(p+1)/2 {
+			t.Errorf("reduce at root = %d, want %d", got, p*(p+1)/2)
+		}
+		if sub.Rank() != root && got != sub.Rank()+1 {
+			t.Errorf("reduce at non-root = %d, want own %d", got, sub.Rank()+1)
+		}
+	})
+}
+
+func TestTableExScanGeneric(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		prefix, total := ExScan(sub, int64(sub.Rank()+1))
+		p := sub.Size()
+		if total != int64(p*(p+1)/2) {
+			t.Errorf("total = %d", total)
+		}
+		if prefix != int64(sub.Rank()*(sub.Rank()+1)/2) {
+			t.Errorf("prefix = %d", prefix)
+		}
+		// Float instantiation.
+		fp, ft := ExScan(sub, 0.5)
+		if ft != float64(p)*0.5 || fp != float64(sub.Rank())*0.5 {
+			t.Errorf("float exscan = (%f, %f)", fp, ft)
+		}
+	})
+}
+
+func TestTableBcastStruct(t *testing.T) {
+	type payload struct {
+		A int64
+		B [3]int32
+	}
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		var v payload
+		if sub.Rank() == 0 {
+			v = payload{A: 42, B: [3]int32{1, 2, 3}}
+		}
+		got := Bcast(sub, v, 0)
+		if got.A != 42 || got.B[2] != 3 {
+			t.Errorf("rank %d got %+v", sub.Rank(), got)
+		}
+	})
+}
+
+func TestTableGathervEmpty(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		var local []int
+		if sub.Rank()%2 == 0 {
+			local = []int{sub.Rank()}
+		}
+		got := Gatherv(sub, local, 0)
+		if sub.Rank() != 0 {
+			if got != nil {
+				t.Errorf("non-root got %v", got)
+			}
+			return
+		}
+		want := (sub.Size() + 1) / 2
+		if len(got) != want {
+			t.Fatalf("root got %v, want %d evens", got, want)
+		}
+		for k, v := range got {
+			if v != 2*k {
+				t.Errorf("root got[%d] = %d", k, v)
+			}
+		}
+	})
+}
+
+func TestExchangeIntoReuse(t *testing.T) {
+	// 2x2 transpose pattern: 0<->0, 1<->2, 3<->3.
+	partners := []int{0, 2, 1, 3}
+	Run(4, nil, func(c *Comm) {
+		scratch := make([]int, 0, 8)
+		for round := 0; round < 3; round++ {
+			data := []int{c.Rank()*11 + round}
+			scratch = ExchangeInto(c, partners[c.Rank()], data, scratch)
+			want := partners[c.Rank()]*11 + round
+			if len(scratch) != 1 || scratch[0] != want {
+				t.Errorf("round %d rank %d got %v, want [%d]", round, c.Rank(), scratch, want)
+			}
+		}
+	})
+}
+
+// TestTypedCollectivesDataRace drives all typed collectives concurrently on
+// interleaved sub-communicators under the race detector, mirroring
+// TestStressInterleavedSubcommunicators for the new entry points (Into
+// variants, AllGather, Reduce, AllToAllvConcat).
+func TestTypedCollectivesDataRace(t *testing.T) {
+	const p = 16
+	const rounds = 25
+	run := func() []int64 {
+		sums := make([]int64, p)
+		Run(p, nil, func(c *Comm) {
+			q := 4
+			row := c.Split(c.Rank()/q, c.Rank()%q)
+			col := c.Split(c.Rank()%q, c.Rank()/q)
+			rng := rand.New(rand.NewSource(int64(c.Rank() + 99)))
+			var gatherBuf, concatBuf []int64
+			var counts []int
+			var acc int64
+			for r := 0; r < rounds; r++ {
+				gatherBuf = AllGathervConcatInto(row, []int64{int64(c.Rank()*1000 + r)}, gatherBuf)
+				for _, v := range gatherBuf {
+					acc += v
+				}
+				send := make([][]int64, q)
+				for d := 0; d < q; d++ {
+					for k := 0; k <= (c.Rank()+d+r)%3; k++ {
+						send[d] = append(send[d], int64(d+r))
+					}
+				}
+				concatBuf, counts = AllToAllvConcat(col, send, concatBuf, counts)
+				for _, v := range concatBuf {
+					acc += v
+				}
+				acc += int64(counts[c.Rank()/q])
+				acc += int64(AllGather(row, c.Rank())[r%q])
+				acc += int64(Reduce(col, r, func(a, b int) int { return a + b }, 0))
+				if r%5 == 0 {
+					_, tot := ExScan(c, int64(r))
+					acc += tot
+				}
+				c.Stats().AddWork(int64(rng.Intn(50)))
+				sums[c.Rank()] = acc
+			}
+		})
+		return sums
+	}
+	s1, s2 := run(), run()
+	for r := range s1 {
+		if s1[r] != s2[r] {
+			t.Fatalf("rank %d data differs across runs: %d vs %d", r, s1[r], s2[r])
+		}
+	}
+}
+
+// TestCollectivesDoNotAliasExchange verifies the Into variants copy out of
+// the exchange: mutating a sender's buffer after the collective must not be
+// visible in any receiver's result.
+func TestCollectivesDoNotAliasExchange(t *testing.T) {
+	Run(3, nil, func(c *Comm) {
+		local := []int{c.Rank() + 1}
+		got := AllGathervConcatInto(c, local, nil)
+		local[0] = -777
+		c.Barrier()
+		for r, v := range got {
+			if v != r+1 {
+				t.Errorf("rank %d saw mutated value %d from %d", c.Rank(), v, r)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/psort"
 	"repro/internal/semiring"
 	"repro/internal/spmat"
 	"repro/internal/spvec"
@@ -59,10 +60,14 @@ func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
 	return res
 }
 
-// spa is the sparse accumulator scratch of the sequential SpMSpV.
+// spa is the sparse accumulator scratch of the sequential SpMSpV, together
+// with the keyed-sort workspaces of the per-level sorts.
 type spa struct {
-	val  []int64
-	mark []bool
+	val     []int64
+	mark    []bool
+	touched []int
+	intWS   psort.Scratch[int]
+	tupWS   psort.Scratch[spvec.Tuple]
 }
 
 func newSpa(n int) *spa {
@@ -70,9 +75,11 @@ func newSpa(n int) *spa {
 }
 
 // seqSpMSpV computes A·x over the semiring: the sequential CSC kernel
-// (SPMSPV of Table I). The output is index-sorted.
-func seqSpMSpV(a *spmat.CSC, x *spvec.Sp, sr semiring.Semiring, s *spa) *spvec.Sp {
-	var touched []int
+// (SPMSPV of Table I). The output is index-sorted. The semiring is a type
+// parameter so concrete semirings dispatch statically (no interface calls
+// in the inner loop).
+func seqSpMSpV[S semiring.Semiring](a *spmat.CSC, x *spvec.Sp, sr S, s *spa) *spvec.Sp {
+	touched := s.touched[:0]
 	for k, j := range x.Ind {
 		prod := sr.Multiply(x.Val[k])
 		for _, i := range a.Column(j) {
@@ -85,8 +92,9 @@ func seqSpMSpV(a *spmat.CSC, x *spvec.Sp, sr semiring.Semiring, s *spa) *spvec.S
 			}
 		}
 	}
-	sortInts(touched)
-	out := &spvec.Sp{}
+	psort.KeyedWS(&s.intWS, touched, func(v int) uint64 { return uint64(v) }, 1)
+	s.touched = touched
+	out := &spvec.Sp{Ind: make([]int, 0, len(touched)), Val: make([]int64, 0, len(touched))}
 	for _, i := range touched {
 		out.Append(i, s.val[i])
 		s.mark[i] = false
@@ -146,28 +154,11 @@ func algebraicOrder(a *spmat.CSC, deg []int64, r []int64, root int, nv int64, sr
 		}
 		// Rnext ← SORTPERM(Lnext, D) + nv.
 		tuples := spvec.TuplesOf(next, deg)
-		spvec.SortTuples(tuples)
+		spvec.SortTuplesWS(&s.tupWS, tuples)
 		for k, t := range tuples {
 			r[t.Vertex] = nv + int64(k) // R ← SET(R, Rnext)
 		}
 		nv += int64(len(tuples))
 		cur = next
 	}
-}
-
-func sortInts(xs []int) {
-	// Insertion sort for the short lists, stdlib sort above a threshold.
-	if len(xs) < 32 {
-		for i := 1; i < len(xs); i++ {
-			v := xs[i]
-			j := i - 1
-			for j >= 0 && xs[j] > v {
-				xs[j+1] = xs[j]
-				j--
-			}
-			xs[j+1] = v
-		}
-		return
-	}
-	sortIntsStd(xs)
 }

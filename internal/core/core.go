@@ -27,8 +27,7 @@
 package core
 
 import (
-	"sort"
-
+	"repro/internal/psort"
 	"repro/internal/spmat"
 )
 
@@ -61,6 +60,25 @@ type Options struct {
 
 // DefaultOptions returns the standard RCM configuration.
 func DefaultOptions() Options { return Options{Start: -1} }
+
+// MinDegreeVertex returns the global minimum-(degree, id) vertex of the
+// graph — the classic Cuthill-McKee starting prescription. It lives here
+// next to the other start-vertex policies (pseudo-peripheral search, fixed
+// start) so facades can select it without scanning graph internals
+// themselves. Returns -1 for an empty graph.
+func MinDegreeVertex(a *spmat.CSR) int {
+	if a.N == 0 {
+		return -1
+	}
+	deg := a.Degrees()
+	best := 0
+	for v := 1; v < a.N; v++ {
+		if deg[v] < deg[best] {
+			best = v
+		}
+	}
+	return best
+}
 
 // reverseInPlace converts a CM labelling into RCM: position k gets the
 // vertex labelled n-1-k.
@@ -117,7 +135,7 @@ func SequentialOpt(a *spmat.CSR, opt Options) *Ordering {
 				res.PseudoDiameter = ecc
 			}
 		}
-		nv = cmComponent(a, deg, labels, r, nv)
+		nv = cmComponent(a, deg, labels, r, nv, &scratch.sortWS)
 		res.Components++
 	}
 	res.Perm = permFromLabels(labels, !opt.NoReverse)
@@ -127,6 +145,7 @@ func SequentialOpt(a *spmat.CSR, opt Options) *Ordering {
 type seqScratch struct {
 	levels []int
 	queue  []int
+	sortWS psort.Scratch[int]
 }
 
 // bfsLevels runs a BFS from r, filling scratch.levels (-1 outside the
@@ -181,25 +200,24 @@ func pseudoPeripheral(a *spmat.CSR, deg []int, start int, s *seqScratch) (r, ecc
 
 // cmComponent labels one connected component in Cuthill-McKee order starting
 // from r, continuing the label counter nv, and returns the updated counter.
-func cmComponent(a *spmat.CSR, deg []int, labels []int64, r int, nv int64) int64 {
+// The per-vertex child sort is the linear-time labeling: children arrive in
+// ascending id (CSR rows are sorted), so a stable counting sort by degree
+// alone realises the (degree, id) order of the deterministic contract.
+func cmComponent(a *spmat.CSR, deg []int, labels []int64, r int, nv int64, ws *psort.Scratch[int]) int64 {
 	order := []int{r}
 	labels[r] = nv
 	nv++
+	var kids []int
 	for qi := 0; qi < len(order); qi++ {
 		v := order[qi]
-		var kids []int
+		kids = kids[:0]
 		for _, w := range a.Row(v) {
 			if w != v && labels[w] < 0 {
 				labels[w] = -2 // claimed, label below
 				kids = append(kids, w)
 			}
 		}
-		sort.Slice(kids, func(i, j int) bool {
-			if deg[kids[i]] != deg[kids[j]] {
-				return deg[kids[i]] < deg[kids[j]]
-			}
-			return kids[i] < kids[j]
-		})
+		psort.KeyedWS(ws, kids, func(v int) uint64 { return uint64(deg[v]) }, 1)
 		for _, w := range kids {
 			labels[w] = nv
 			nv++

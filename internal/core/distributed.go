@@ -18,14 +18,6 @@ func randPerm(n int, seed int64) []int {
 	return rand.New(rand.NewSource(seed)).Perm(n)
 }
 
-func isqrt(n int) int {
-	q := 0
-	for (q+1)*(q+1) <= n {
-		q++
-	}
-	return q
-}
-
 // SortMode selects how the next frontier is labeled, covering the paper's
 // §VI future-work alternatives to the full distributed sort.
 type SortMode int
@@ -102,7 +94,7 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 	if opt.Procs < 1 {
 		opt.Procs = 1
 	}
-	if q := isqrt(opt.Procs); q*q != opt.Procs {
+	if q := grid.Isqrt(opt.Procs); q*q != opt.Procs {
 		// Validate in the caller so the panic is recoverable; the same
 		// restriction the paper's implementation has (§V-A).
 		panic(fmt.Sprintf("core: Distributed requires a square process count, got %d", opt.Procs))
@@ -138,6 +130,9 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 		D := distmat.DegreeVec(A)
 		R := distmat.NewVec(d, -1)
 
+		// Per-rank SORTPERM scratch, shared by every level and component.
+		sortWS := &distmat.SortWS{}
+
 		nv := int64(0)
 		pd := 0
 		nc := 0
@@ -158,7 +153,7 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 					pd = ecc
 				}
 			}
-			nv = distOrder(A, D, R, root, nv, opt.SortMode)
+			nv = distOrder(A, D, R, root, nv, opt.SortMode, sortWS)
 			nc++
 		}
 
@@ -239,9 +234,9 @@ func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
 		for {
 			cur.GatherDense(L)
 			g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
-			next := A.SpMSpV(cur, sr)
+			next := distmat.SpMSpV(A, cur, sr)
 			g.World.Stats().SetPhase(tally.PeripheralOther)
-			next = next.Select(L, func(v int64) bool { return v == -1 })
+			next.SelectInPlace(L, func(v int64) bool { return v == -1 })
 			if next.Nnz() == 0 {
 				break
 			}
@@ -262,8 +257,10 @@ func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
 }
 
 // distOrder is Algorithm 3 on the distributed primitives: the labeling BFS
-// whose next frontier is labeled by the distributed SORTPERM.
-func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int64, mode SortMode) int64 {
+// whose next frontier is labeled by the distributed SORTPERM. The sort
+// workspace is per-rank scratch threaded from the Run closure so the
+// per-level steady state stops allocating.
+func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int64, mode SortMode, sortWS *distmat.SortWS) int64 {
 	g := A.D.G
 	sr := semiring.Select2ndMin{}
 	g.World.Stats().SetPhase(tally.OrderingOther)
@@ -275,9 +272,9 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 	for {
 		cur.GatherDense(R) // Lcur ← SET(Lcur, R)
 		g.World.Stats().SetPhase(tally.OrderingSpMSpV)
-		next := A.SpMSpV(cur, sr) // Lnext ← SPMSPV(A, Lcur)
+		next := distmat.SpMSpV(A, cur, sr) // Lnext ← SPMSPV(A, Lcur)
 		g.World.Stats().SetPhase(tally.OrderingOther)
-		next = next.Select(R, func(v int64) bool { return v == -1 })
+		next.SelectInPlace(R, func(v int64) bool { return v == -1 })
 		cnt := next.Nnz()
 		if cnt == 0 {
 			return nv
@@ -286,11 +283,11 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 		var rnext *distmat.SpV
 		switch mode {
 		case SortLocal:
-			rnext = distmat.SortPermLocal(next, D, nv)
+			rnext = distmat.SortPermLocalWS(sortWS, next, D, nv)
 		case SortNone:
 			rnext = distmat.SortPermNone(next, nv)
 		default:
-			rnext = distmat.SortPerm(next, D, nv) // Rnext ← SORTPERM(Lnext, D) + nv
+			rnext = distmat.SortPermWS(sortWS, next, D, nv) // Rnext ← SORTPERM(Lnext, D) + nv
 		}
 		g.World.Stats().SetPhase(tally.OrderingOther)
 		rnext.SetDense(R) // R ← SET(R, Rnext)

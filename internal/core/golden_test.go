@@ -1,0 +1,80 @@
+package core
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/graphgen"
+)
+
+// The golden suite pins the permutations of the generator-suite analogs to
+// FNV-1a hashes captured before the typed-substrate/keyed-sort refactor
+// (PR 2). All four backends must produce the byte-identical permutation
+// (the deterministic contract), and that permutation — plus the SortLocal
+// and SortNone ablation orderings of the Distributed backend — must never
+// drift: substrate and sort rewrites are wall-clock changes, not output
+// changes.
+
+const goldenScale = 8
+const goldenProcs = 4
+
+func hashPerm(p []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range p {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+var goldenSuite = []struct {
+	name                  string
+	n                     int
+	full, local, nonesort uint64
+}{
+	{"nd24k", 12, 0x1bcbda3af0e6f7a5, 0x1bcbda3af0e6f7a5, 0x1bcbda3af0e6f7a5},
+	{"ldoor", 308, 0xd859d4f72c311949, 0x3729d2a24ebd5a99, 0x6a5d5b8069509089},
+	{"Serena", 140, 0x801ebcca727970e5, 0x8c4274b81da9d585, 0x19963ff159b8ce45},
+	{"audikw_1", 120, 0xff5e3c828c5f68a5, 0xb6a8f8aa7402cba5, 0xad8580dacc385e45},
+	{"dielFilterV3real", 120, 0xea0717b5f3f6125, 0xbf1e3b7737a52cc5, 0x231482954cffc385},
+	{"Flan_1565", 100, 0x14d989002c5cae65, 0x4de0f35d15d984e5, 0x508fc56957fbe4e5},
+	{"Li7Nmax6", 625, 0xc4353619622e615f, 0x4ccc766f95a631bb, 0x82fb63c955fefe3},
+	{"Nm7", 937, 0xbfdeb8d884ca37ac, 0xfe10b0ffb8b5054c, 0x349178ac75fab834},
+	{"nlpkkt240", 160, 0x3c428f15a1cef725, 0x610cc2181c13abc5, 0xd91d728176ba4f05},
+}
+
+func TestGoldenPermutationsAllBackends(t *testing.T) {
+	for _, g := range goldenSuite {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			entry := graphgen.SuiteByName(g.name)
+			if entry == nil {
+				t.Fatalf("unknown suite matrix %q", g.name)
+			}
+			a := entry.Build(goldenScale)
+			if a.N != g.n {
+				t.Fatalf("suite matrix changed: n=%d, golden %d", a.N, g.n)
+			}
+			results := map[string]uint64{
+				"sequential":  hashPerm(Sequential(a).Perm),
+				"algebraic":   hashPerm(Algebraic(a).Perm),
+				"shared":      hashPerm(Shared(a, 4).Perm),
+				"distributed": hashPerm(Distributed(a, DistOptions{Procs: goldenProcs}).Perm),
+			}
+			for backend, h := range results {
+				if h != g.full {
+					t.Errorf("%s: permutation hash %#x, golden %#x", backend, h, g.full)
+				}
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortLocal}).Perm); h != g.local {
+				t.Errorf("distributed/SortLocal: hash %#x, golden %#x", h, g.local)
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortNone}).Perm); h != g.nonesort {
+				t.Errorf("distributed/SortNone: hash %#x, golden %#x", h, g.nonesort)
+			}
+		})
+	}
+}

@@ -1,14 +1,11 @@
 package core
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/psort"
 	"repro/internal/spmat"
 )
-
-func sortIntsStd(xs []int) { sort.Ints(xs) }
 
 // Shared computes the RCM ordering with a level-synchronous shared-memory
 // parallel algorithm in the style of Karantasis et al. (SC'14), which is
@@ -68,6 +65,7 @@ type sharedWork struct {
 	deg     []int
 	threads int
 	levels  []int
+	sortWS  psort.Scratch[candidate]
 }
 
 // parallelRanges invokes f(t, lo, hi) for threads contiguous slices of
@@ -124,15 +122,12 @@ func (w *sharedWork) expand(frontier []int, visited []bool) []candidate {
 }
 
 // dedupe keeps, for every child, the candidate with the smallest parent
-// position (the minimum-label parent of the deterministic contract). The
-// sort parallelises on large frontiers.
+// position (the minimum-label parent of the deterministic contract).
+// Candidates arrive sorted by parent position (expand's thread parts cover
+// contiguous frontier ranges, concatenated in thread order), so one stable
+// linear-time sort by child realises the (child, parentPos) order.
 func (w *sharedWork) dedupe(cands []candidate) []candidate {
-	psort.Slice(cands, func(a, b candidate) bool {
-		if a.child != b.child {
-			return a.child < b.child
-		}
-		return a.parentPos < b.parentPos
-	}, w.threads)
+	psort.KeyedWS(&w.sortWS, cands, func(c candidate) uint64 { return uint64(c.child) }, w.threads)
 	out := cands[:0]
 	for _, c := range cands {
 		if len(out) == 0 || out[len(out)-1].child != c.child {
@@ -199,16 +194,12 @@ func (w *sharedWork) order(labels []int64, root int, nv int64) int64 {
 		if len(cands) == 0 {
 			return nv
 		}
-		psort.Slice(cands, func(a, b candidate) bool {
-			if a.parentPos != b.parentPos {
-				return a.parentPos < b.parentPos
-			}
-			da, db := w.deg[a.child], w.deg[b.child]
-			if da != db {
-				return da < db
-			}
-			return a.child < b.child
-		}, w.threads)
+		// The (parentPos, degree, child) order of the deterministic merge,
+		// as stable linear-time passes (dedupe leaves cands sorted by the
+		// unique child, so only degree and parentPos passes remain).
+		psort.LexWS(&w.sortWS, cands, w.threads,
+			func(c candidate) uint64 { return uint64(c.parentPos) },
+			func(c candidate) uint64 { return uint64(w.deg[c.child]) })
 		next := make([]int, len(cands))
 		for k, c := range cands {
 			next[k] = c.child

@@ -1,7 +1,6 @@
 package distmat
 
 import (
-	"repro/internal/semiring"
 	"repro/internal/spmat"
 )
 
@@ -9,38 +8,8 @@ import (
 // grids the blocks are hypersparse and the CSC column-pointer array
 // dominates the footprint; DCSC removes it (§IV-A discusses the local
 // format choice; DCSC is what CombBLAS itself uses in this regime).
+// The DCSC kernel itself lives next to the CSC one in distmat.go
+// (localSpMSpVDCSC / the LocalSpMSpVDCSC wrapper).
 func (m *Mat) DCSCBlock() *spmat.DCSC {
 	return spmat.DCSCFromCSC(m.Block)
-}
-
-// LocalSpMSpVDCSC is the local kernel over a DCSC block: identical output
-// to LocalSpMSpVCSC, with per-column binary searches over the compressed
-// column list instead of direct column-pointer indexing.
-func (m *Mat) LocalSpMSpVDCSC(d *spmat.DCSC, xj []Entry, sr semiring.Semiring) []Entry {
-	var touchedRows []int
-	work := int64(len(xj))
-	for _, e := range xj {
-		lcol := e.Ind - m.ColLo
-		col := d.Column(lcol)
-		work += int64(len(col)) + 1 // +1 for the binary search probe
-		prod := sr.Multiply(e.Val)
-		for _, lrow := range col {
-			if !m.spaMark[lrow] {
-				m.spaMark[lrow] = true
-				m.spaVal[lrow] = sr.Add(sr.Identity(), prod)
-				touchedRows = append(touchedRows, lrow)
-			} else {
-				m.spaVal[lrow] = sr.Add(m.spaVal[lrow], prod)
-			}
-		}
-	}
-	sortInts(touchedRows)
-	out := make([]Entry, len(touchedRows))
-	for k, lrow := range touchedRows {
-		out[k] = Entry{Ind: m.RowLo + lrow, Val: m.spaVal[lrow]}
-		m.spaMark[lrow] = false
-	}
-	work += sortCost(len(touchedRows)) + int64(len(touchedRows))
-	m.D.G.World.Stats().AddWork(work)
-	return out
 }

@@ -10,6 +10,12 @@
 // their own local pieces. Local work is reported to the rank's tally.Stats,
 // and all communication flows through package comm, so the BSP virtual clock
 // of each rank tracks the modelled execution time of the paper's cost model.
+//
+// The hot-path primitives (SPMSPV, SORTPERM) run over per-rank scratch
+// workspaces: the Mat carries the SpMSpV exchange buffers, and SortWS
+// carries the SORTPERM ones, so the per-BFS-level steady state performs no
+// allocations beyond the output vector. The semiring is a type parameter of
+// the kernels, so concrete semirings dispatch statically.
 package distmat
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/grid"
+	"repro/internal/psort"
 	"repro/internal/semiring"
 	"repro/internal/spmat"
 	"repro/internal/spvec"
@@ -27,6 +34,25 @@ import (
 type Entry struct {
 	Ind int
 	Val int64
+}
+
+// sortWork returns the modelled work of the linear-time keyed sort of n
+// elements (histogram + stable scatter).
+func sortWork(n int) int64 { return int64(2 * n) }
+
+// spmspvWS is the per-rank scratch of SpMSpV, reused across calls so the
+// steady state allocates nothing but the output vector.
+type spmspvWS struct {
+	mine    []Entry
+	swapped []Entry
+	xj      []Entry
+	touched []int
+	out     []Entry
+	send    [][]Entry
+	recv    []Entry
+	counts  []int
+	intWS   psort.Scratch[int]
+	entWS   psort.Scratch[Entry]
 }
 
 // Mat is one rank's block of a distributed pattern matrix.
@@ -44,6 +70,8 @@ type Mat struct {
 	// spa is the sparse-accumulator scratch reused across SpMSpV calls.
 	spaVal  []int64
 	spaMark []bool
+	// ws holds the exchange and sort scratch of the SpMSpV pipeline.
+	ws spmspvWS
 }
 
 // EnableDCSC switches the local SpMSpV kernel to the doubly compressed
@@ -174,6 +202,24 @@ func (x *SpV) Select(y *Vec, pred func(int64) bool) *SpV {
 	return out
 }
 
+// SelectInPlace filters x down to the entries whose dense value satisfies
+// pred, reusing x's storage: the allocation-free SELECT used on the BFS hot
+// path. Local by construction.
+func (x *SpV) SelectInPlace(y *Vec, pred func(int64) bool) {
+	n := x.Loc.Len()
+	w := 0
+	for k, i := range x.Loc.Ind {
+		if pred(y.At(i)) {
+			x.Loc.Ind[w] = i
+			x.Loc.Val[w] = x.Loc.Val[k]
+			w++
+		}
+	}
+	x.Loc.Ind = x.Loc.Ind[:w]
+	x.Loc.Val = x.Loc.Val[:w]
+	x.D.G.World.Stats().AddWork(int64(n))
+}
+
 // SetDense overwrites y at the indices of x with x's values: the distributed
 // SET(R, Rnext) primitive. Local by construction.
 func (x *SpV) SetDense(y *Vec) {
@@ -226,69 +272,86 @@ func (x *SpV) ArgMinBy(y *Vec) int {
 //  4. AllToAllv along the processor row, routing output entries to their
 //     owners, merged with the semiring's addition.
 //
-// Collective; requires a square grid.
-func (m *Mat) SpMSpV(x *SpV, sr semiring.Semiring) *SpV {
+// All intermediate buffers come from the Mat's per-rank workspace, and the
+// semiring dispatches statically; steady-state calls allocate only the
+// output vector. Collective; requires a square grid.
+func SpMSpV[S semiring.Semiring](m *Mat, x *SpV, sr S) *SpV {
 	g := m.D.G
 	if g.Pr != g.Pc {
 		panic("distmat: SpMSpV requires a square process grid")
 	}
+	ws := &m.ws
 	// Step 1: transpose exchange.
-	mine := packEntries(&x.Loc)
-	swapped := comm.Exchange(g.World, g.TransposeRank(), mine)
+	ws.mine = packEntriesInto(&x.Loc, ws.mine)
+	ws.swapped = comm.ExchangeInto(g.World, g.TransposeRank(), ws.mine, ws.swapped)
 	// Step 2: assemble x_j along the processor column. Column ranks are
 	// ordered by grid row, and after the transpose each holds the
 	// sub-chunk of column block MyCol matching its grid row, so
 	// concatenation in rank order is sorted by global index.
-	xj := comm.AllGathervConcat(g.Col, swapped)
+	ws.xj = comm.AllGathervConcatInto(g.Col, ws.swapped, ws.xj)
 
 	// Step 3: local multiply with a sparse accumulator.
 	var touched []Entry
 	if m.dcsc != nil {
-		touched = m.LocalSpMSpVDCSC(m.dcsc, xj, sr)
+		touched = localSpMSpVDCSC(m, m.dcsc, ws.xj, sr)
 	} else {
-		touched = m.localSpMSpV(xj, sr)
+		touched = localSpMSpV(m, ws.xj, sr)
 	}
 
-	// Step 4: route outputs to their owners along the processor row.
-	send := make([][]Entry, g.Pc)
-	for _, e := range touched {
-		j := 0
-		lo := m.RowLo
-		ln := m.RowHi - m.RowLo
-		if ln > 0 {
-			j = (e.Ind - lo) * g.Pc / ln
-		}
-		for j > 0 && e.Ind < m.D.SubStart(g.MyRow, j) {
-			j--
-		}
-		for j < g.Pc-1 && e.Ind >= m.D.SubStart(g.MyRow, j+1) {
-			j++
-		}
-		send[j] = append(send[j], e)
+	// Step 4: route outputs to their owners along the processor row. The
+	// kernel output is index-sorted and the destination sub-chunks are
+	// contiguous index ranges in rank order, so the send lists are
+	// subslices of it — no per-destination copies.
+	if cap(ws.send) < g.Pc {
+		ws.send = make([][]Entry, g.Pc)
 	}
-	recv := comm.AllToAllv(g.Row, send)
+	send := ws.send[:g.Pc]
+	pos := 0
+	for j := 0; j < g.Pc; j++ {
+		hi := m.RowHi
+		if j < g.Pc-1 {
+			hi = m.D.SubStart(g.MyRow, j+1)
+		}
+		start := pos
+		for pos < len(touched) && touched[pos].Ind < hi {
+			pos++
+		}
+		send[j] = touched[start:pos]
+	}
+	ws.recv, ws.counts = comm.AllToAllvConcat(g.Row, send, ws.recv, ws.counts)
 	out := NewSpV(m.D)
-	mergeEntries(recv, &out.Loc, sr)
-	var merged int64
-	for _, r := range recv {
-		merged += int64(len(r))
-	}
-	g.World.Stats().AddWork(int64(len(touched)) + merged)
+	mergeEntries(ws.recv, &out.Loc, sr, &ws.entWS)
+	g.World.Stats().AddWork(int64(len(touched)) + int64(len(ws.recv)))
 	return out
+}
+
+// SpMSpV is the interface-dispatch form of the generic free function, kept
+// for callers that hold a Semiring value rather than a concrete type.
+func (m *Mat) SpMSpV(x *SpV, sr semiring.Semiring) *SpV {
+	return SpMSpV(m, x, sr)
 }
 
 // LocalSpMSpVCSC runs the default local CSC kernel directly on a frontier
 // segment (global column indices). Exposed for the format ablation, which
 // compares it against LocalSpMSpVCSRScan.
 func (m *Mat) LocalSpMSpVCSC(xj []Entry, sr semiring.Semiring) []Entry {
-	return m.localSpMSpV(xj, sr)
+	return localSpMSpV(m, xj, sr)
+}
+
+// LocalSpMSpVDCSC is the local kernel over a DCSC block: identical output
+// to LocalSpMSpVCSC, with per-column binary searches over the compressed
+// column list instead of direct column-pointer indexing.
+func (m *Mat) LocalSpMSpVDCSC(d *spmat.DCSC, xj []Entry, sr semiring.Semiring) []Entry {
+	return localSpMSpVDCSC(m, d, xj, sr)
 }
 
 // localSpMSpV runs the CSC kernel: for every frontier entry, scan its matrix
 // column and accumulate with the semiring. Returns index-sorted entries with
-// global row indices.
-func (m *Mat) localSpMSpV(xj []Entry, sr semiring.Semiring) []Entry {
-	var touchedRows []int
+// global row indices, in the workspace's output buffer (valid until the next
+// kernel call on this Mat).
+func localSpMSpV[S semiring.Semiring](m *Mat, xj []Entry, sr S) []Entry {
+	ws := &m.ws
+	touchedRows := ws.touched[:0]
 	work := int64(len(xj))
 	for _, e := range xj {
 		lcol := e.Ind - m.ColLo
@@ -305,13 +368,46 @@ func (m *Mat) localSpMSpV(xj []Entry, sr semiring.Semiring) []Entry {
 			}
 		}
 	}
-	sortInts(touchedRows)
-	out := make([]Entry, len(touchedRows))
-	for k, lrow := range touchedRows {
-		out[k] = Entry{Ind: m.RowLo + lrow, Val: m.spaVal[lrow]}
+	return spaEmit(m, touchedRows, work)
+}
+
+// localSpMSpVDCSC is the generic DCSC kernel behind LocalSpMSpVDCSC.
+func localSpMSpVDCSC[S semiring.Semiring](m *Mat, d *spmat.DCSC, xj []Entry, sr S) []Entry {
+	ws := &m.ws
+	touchedRows := ws.touched[:0]
+	work := int64(len(xj))
+	for _, e := range xj {
+		lcol := e.Ind - m.ColLo
+		col := d.Column(lcol)
+		work += int64(len(col)) + 1 // +1 for the binary search probe
+		prod := sr.Multiply(e.Val)
+		for _, lrow := range col {
+			if !m.spaMark[lrow] {
+				m.spaMark[lrow] = true
+				m.spaVal[lrow] = sr.Add(sr.Identity(), prod)
+				touchedRows = append(touchedRows, lrow)
+			} else {
+				m.spaVal[lrow] = sr.Add(m.spaVal[lrow], prod)
+			}
+		}
+	}
+	return spaEmit(m, touchedRows, work)
+}
+
+// spaEmit is the shared tail of the CSC and DCSC kernels: sort the touched
+// rows, drain the accumulator into index-sorted global entries, reset the
+// marks and charge the work.
+func spaEmit(m *Mat, touchedRows []int, work int64) []Entry {
+	ws := &m.ws
+	psort.KeyedWS(&ws.intWS, touchedRows, func(v int) uint64 { return uint64(v) }, 1)
+	ws.touched = touchedRows
+	out := ws.out[:0]
+	for _, lrow := range touchedRows {
+		out = append(out, Entry{Ind: m.RowLo + lrow, Val: m.spaVal[lrow]})
 		m.spaMark[lrow] = false
 	}
-	work += sortCost(len(touchedRows)) + int64(len(touchedRows))
+	ws.out = out
+	work += sortWork(len(touchedRows)) + int64(len(touchedRows))
 	m.D.G.World.Stats().AddWork(work)
 	return out
 }
@@ -358,29 +454,27 @@ func findEntry(xs []Entry, ind int) (Entry, bool) {
 	return Entry{}, false
 }
 
-func packEntries(s *spvec.Sp) []Entry {
-	out := make([]Entry, s.Len())
+// packEntriesInto flattens a sparse vector into (index, value) records,
+// appending into buf[:0].
+func packEntriesInto(s *spvec.Sp, buf []Entry) []Entry {
+	out := buf[:0]
 	for k := range s.Ind {
-		out[k] = Entry{Ind: s.Ind[k], Val: s.Val[k]}
+		out = append(out, Entry{Ind: s.Ind[k], Val: s.Val[k]})
 	}
 	return out
 }
 
-// mergeEntries k-way merges index-sorted entry lists into dst, combining
-// duplicates with the semiring's addition.
-func mergeEntries(lists [][]Entry, dst *spvec.Sp, sr semiring.Semiring) {
-	total := 0
-	for _, l := range lists {
-		total += len(l)
-	}
-	if total == 0 {
+// mergeEntries merges the concatenated index-sorted runs received from the
+// row exchange into dst, combining duplicate indices with the semiring's
+// addition. One stable linear-time keyed sort by index replaces the old
+// comparator sort; stability preserves source-rank order among duplicates.
+func mergeEntries[S semiring.Semiring](all []Entry, dst *spvec.Sp, sr S, ws *psort.Scratch[Entry]) {
+	if len(all) == 0 {
 		return
 	}
-	all := make([]Entry, 0, total)
-	for _, l := range lists {
-		all = append(all, l...)
-	}
-	sortEntries(all)
+	psort.KeyedWS(ws, all, func(e Entry) uint64 { return uint64(e.Ind) }, 1)
+	dst.Ind = make([]int, 0, len(all))
+	dst.Val = make([]int64, 0, len(all))
 	for _, e := range all {
 		if n := dst.Len(); n > 0 && dst.Ind[n-1] == e.Ind {
 			dst.Val[n-1] = sr.Add(dst.Val[n-1], e.Val)

@@ -528,7 +528,7 @@ func TestLocalSpMSpVCSRScanMatchesCSC(t *testing.T) {
 		for g := m.ColLo; g < m.ColHi; g += 2 {
 			xj = append(xj, Entry{Ind: g, Val: int64(g + 1)})
 		}
-		want := m.localSpMSpV(xj, sr)
+		want := m.LocalSpMSpVCSC(xj, sr)
 		got := m.LocalSpMSpVCSRScan(csr, xj, sr)
 		if len(got) != len(want) {
 			t.Fatalf("kernel mismatch: %d vs %d entries", len(got), len(want))

@@ -2,28 +2,47 @@ package distmat
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/psort"
 	"repro/internal/spvec"
 )
 
-func sortInts(xs []int) { sort.Ints(xs) }
-
-func sortEntries(xs []Entry) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i].Ind < xs[j].Ind })
+// SortWS is the per-rank scratch of the SORTPERM primitive: tuple and entry
+// buffers, bucket counters and keyed-sort workspaces, reused across BFS
+// levels so the steady state allocates only the output vector. The zero
+// value is ready to use.
+type SortWS struct {
+	tuples  []spvec.Tuple
+	sendBuf []spvec.Tuple
+	send    [][]spvec.Tuple
+	bucket  []int
+	mine    []spvec.Tuple
+	counts  []int
+	backBuf []Entry
+	back    [][]Entry
+	owners  []int
+	ents    []Entry
+	entCnt  []int
+	tupWS   psort.Scratch[spvec.Tuple]
+	entWS   psort.Scratch[Entry]
 }
 
-// sortCost returns the modelled work of comparison-sorting n elements.
-func sortCost(n int) int64 {
-	if n <= 1 {
-		return 0
+// zeroInts returns buf resized to n and zeroed.
+func zeroInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
 	}
-	l := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		l++
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
 	}
-	return int64(n * l)
+	return s
+}
+
+// minMax is the payload of the combined parent-range reduction.
+type minMax struct {
+	min, max int64
 }
 
 // SortPerm implements the distributed SORTPERM primitive of §IV-B. Input:
@@ -36,89 +55,141 @@ func sortCost(n int) int64 {
 // Following the paper, processor i is responsible for sorting the tuples
 // whose parent labels fall in the i-th slice of the parent-label range (the
 // labels of the previous frontier are contiguous, so this is a balanced
-// bucket sort). One AllToAllv exchanges the tuples, a local sort orders each
-// bucket, an exclusive scan turns bucket offsets into global positions, and
-// a second AllToAllv returns (vertex, label) pairs to the vertex owners.
+// bucket sort). One AllToAllv exchanges the tuples, a local linear-time
+// keyed sort orders each bucket (the CG80-style counting sort by (parent,
+// degree, vertex) — not a comparison sort), an exclusive scan turns bucket
+// offsets into global positions, and a second AllToAllv returns
+// (vertex, label) pairs to the vertex owners.
 func SortPerm(lnext *SpV, deg *Vec, nv int64) *SpV {
+	return SortPermWS(&SortWS{}, lnext, deg, nv)
+}
+
+// SortPermWS is SortPerm over an explicit per-rank workspace; the ordering
+// BFS calls it once per level with the same workspace.
+func SortPermWS(ws *SortWS, lnext *SpV, deg *Vec, nv int64) *SpV {
 	g := lnext.D.G
 	world := g.World
 	p := world.Size()
 
 	// Local tuples.
-	tuples := make([]spvec.Tuple, lnext.Loc.Len())
-	for k, i := range lnext.Loc.Ind {
-		tuples[k] = spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i}
+	if cap(ws.tuples) < lnext.Loc.Len() {
+		ws.tuples = make([]spvec.Tuple, 0, lnext.Loc.Len())
 	}
+	tuples := ws.tuples[:0]
+	for k, i := range lnext.Loc.Ind {
+		tuples = append(tuples, spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i})
+	}
+	ws.tuples = tuples
 	world.Stats().AddWork(int64(len(tuples)))
 
 	// Parent-label range across all ranks (the labels assigned to the
 	// previous frontier are contiguous, but we recompute the bounds to be
-	// robust for degenerate frontiers).
-	localMin, localMax := int64(math.MaxInt64), int64(math.MinInt64)
+	// robust for degenerate frontiers). One AllReduce carries both bounds.
+	local := minMax{min: math.MaxInt64, max: math.MinInt64}
 	for _, t := range tuples {
-		if t.Parent < localMin {
-			localMin = t.Parent
+		if t.Parent < local.min {
+			local.min = t.Parent
 		}
-		if t.Parent > localMax {
-			localMax = t.Parent
+		if t.Parent > local.max {
+			local.max = t.Parent
 		}
 	}
-	minP := comm.AllReduce(world, localMin, func(a, b int64) int64 {
-		if a < b {
-			return a
+	mm := comm.AllReduce(world, local, func(a, b minMax) minMax {
+		if b.min < a.min {
+			a.min = b.min
 		}
-		return b
-	})
-	maxP := comm.AllReduce(world, localMax, func(a, b int64) int64 {
-		if a > b {
-			return a
+		if b.max > a.max {
+			a.max = b.max
 		}
-		return b
+		return a
 	})
+	minP, maxP := mm.min, mm.max
 
-	// Bucket by parent label and exchange.
-	send := make([][]spvec.Tuple, p)
+	// Bucket by parent label and exchange: a stable two-pass counting
+	// partition into one contiguous buffer whose per-destination subslices
+	// are the send lists.
 	span := maxP - minP + 1
-	for _, t := range tuples {
-		b := 0
-		if span > 0 && maxP >= minP {
-			b = int((t.Parent - minP) * int64(p) / span)
-			if b >= p {
-				b = p - 1
-			}
+	bucketOf := func(t spvec.Tuple) int {
+		if span <= 0 || maxP < minP {
+			return 0
 		}
+		b := int((t.Parent - minP) * int64(p) / span)
+		if b >= p {
+			b = p - 1
+		}
+		return b
+	}
+	cnt := zeroInts(&ws.bucket, p)
+	for _, t := range tuples {
+		cnt[bucketOf(t)]++
+	}
+	if cap(ws.sendBuf) < len(tuples) {
+		ws.sendBuf = make([]spvec.Tuple, len(tuples))
+	}
+	buf := ws.sendBuf[:len(tuples)]
+	if cap(ws.send) < p {
+		ws.send = make([][]spvec.Tuple, p)
+	}
+	send := ws.send[:p]
+	off := 0
+	for j := 0; j < p; j++ {
+		send[j] = buf[off : off : off+cnt[j]]
+		off += cnt[j]
+	}
+	for _, t := range tuples {
+		b := bucketOf(t)
 		send[b] = append(send[b], t)
 	}
-	recv := comm.AllToAllv(world, send)
+	world.Stats().AddWork(int64(2 * len(tuples)))
+	ws.mine, ws.counts = comm.AllToAllvConcat(world, send, ws.mine, ws.counts)
+	mine := ws.mine
 
-	mine := make([]spvec.Tuple, 0)
-	for _, r := range recv {
-		mine = append(mine, r...)
-	}
-	spvec.SortTuples(mine)
-	world.Stats().AddWork(sortCost(len(mine)))
+	spvec.SortTuplesWS(&ws.tupWS, mine)
+	world.Stats().AddWork(sortWork(len(mine)))
 
 	// Global positions: buckets are ordered by parent label, which matches
 	// rank order, so an exclusive prefix sum of bucket sizes gives each
 	// bucket's starting position.
 	offset, _ := comm.ExScan(world, int64(len(mine)))
 
-	// Route (vertex, label) pairs back to the vertex owners.
-	back := make([][]Entry, p)
-	for k, t := range mine {
-		owner := lnext.D.OwnerOf(t.Vertex)
-		back[owner] = append(back[owner], Entry{Ind: t.Vertex, Val: nv + offset + int64(k)})
+	// Route (vertex, label) pairs back to the vertex owners, again as a
+	// stable two-pass counting partition (stable in sorted order, so each
+	// destination's pairs arrive index-ordered per source).
+	ocnt := zeroInts(&ws.bucket, p)
+	if cap(ws.owners) < len(mine) {
+		ws.owners = make([]int, len(mine))
 	}
-	world.Stats().AddWork(int64(len(mine)))
-	got := comm.AllToAllv(world, back)
+	owners := ws.owners[:len(mine)] // fully overwritten below, no zeroing
+	for k, t := range mine {
+		o := lnext.D.OwnerOf(t.Vertex)
+		owners[k] = o
+		ocnt[o]++
+	}
+	if cap(ws.backBuf) < len(mine) {
+		ws.backBuf = make([]Entry, len(mine))
+	}
+	bbuf := ws.backBuf[:len(mine)]
+	if cap(ws.back) < p {
+		ws.back = make([][]Entry, p)
+	}
+	back := ws.back[:p]
+	off = 0
+	for j := 0; j < p; j++ {
+		back[j] = bbuf[off : off : off+ocnt[j]]
+		off += ocnt[j]
+	}
+	for k, t := range mine {
+		back[owners[k]] = append(back[owners[k]], Entry{Ind: t.Vertex, Val: nv + offset + int64(k)})
+	}
+	world.Stats().AddWork(int64(2 * len(mine)))
+	ws.ents, ws.entCnt = comm.AllToAllvConcat(world, back, ws.ents, ws.entCnt)
 
 	out := NewSpV(lnext.D)
-	var all []Entry
-	for _, r := range got {
-		all = append(all, r...)
-	}
-	sortEntries(all)
-	world.Stats().AddWork(sortCost(len(all)))
+	all := ws.ents
+	psort.KeyedWS(&ws.entWS, all, func(e Entry) uint64 { return uint64(e.Ind) }, 1)
+	world.Stats().AddWork(sortWork(len(all)))
+	out.Loc.Ind = make([]int, 0, len(all))
+	out.Loc.Val = make([]int64, 0, len(all))
 	for _, e := range all {
 		out.Loc.Append(e.Ind, e.Val)
 	}
@@ -132,20 +203,35 @@ func SortPerm(lnext *SpV, deg *Vec, nv int64) *SpV {
 // counts. No tuple exchange takes place, so vertices are only ordered
 // correctly relative to frontier entries on the same rank.
 func SortPermLocal(lnext *SpV, deg *Vec, nv int64) *SpV {
+	return SortPermLocalWS(&SortWS{}, lnext, deg, nv)
+}
+
+// SortPermLocalWS is SortPermLocal over an explicit per-rank workspace.
+func SortPermLocalWS(ws *SortWS, lnext *SpV, deg *Vec, nv int64) *SpV {
 	world := lnext.D.G.World
-	tuples := make([]spvec.Tuple, lnext.Loc.Len())
-	for k, i := range lnext.Loc.Ind {
-		tuples[k] = spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i}
+	if cap(ws.tuples) < lnext.Loc.Len() {
+		ws.tuples = make([]spvec.Tuple, 0, lnext.Loc.Len())
 	}
-	spvec.SortTuples(tuples)
-	world.Stats().AddWork(int64(len(tuples)) + sortCost(len(tuples)))
+	tuples := ws.tuples[:0]
+	for k, i := range lnext.Loc.Ind {
+		tuples = append(tuples, spvec.Tuple{Parent: lnext.Loc.Val[k], Degree: deg.At(i), Vertex: i})
+	}
+	ws.tuples = tuples
+	spvec.SortTuplesWS(&ws.tupWS, tuples)
+	world.Stats().AddWork(int64(len(tuples)) + sortWork(len(tuples)))
 	offset, _ := comm.ExScan(world, int64(len(tuples)))
 	out := NewSpV(lnext.D)
-	ord := make([]Entry, len(tuples))
-	for k, t := range tuples {
-		ord[k] = Entry{Ind: t.Vertex, Val: nv + offset + int64(k)}
+	if cap(ws.ents) < len(tuples) {
+		ws.ents = make([]Entry, 0, len(tuples))
 	}
-	sortEntries(ord)
+	ord := ws.ents[:0]
+	for k, t := range tuples {
+		ord = append(ord, Entry{Ind: t.Vertex, Val: nv + offset + int64(k)})
+	}
+	ws.ents = ord
+	psort.KeyedWS(&ws.entWS, ord, func(e Entry) uint64 { return uint64(e.Ind) }, 1)
+	out.Loc.Ind = make([]int, 0, len(ord))
+	out.Loc.Val = make([]int64, 0, len(ord))
 	for _, e := range ord {
 		out.Loc.Append(e.Ind, e.Val)
 	}
@@ -184,7 +270,9 @@ func DegreeVec(m *Mat) *Vec {
 	g.World.Stats().AddWork(int64(m.Block.NNZ()))
 
 	// Reduce-scatter along the processor row: slice local counts by the
-	// sub-chunk boundaries of this row block and exchange.
+	// sub-chunk boundaries of this row block and exchange. Every received
+	// piece has this rank's chunk length, so the concatenated receive
+	// buffer folds with a stride.
 	send := make([][]int64, g.Pc)
 	for j := 0; j < g.Pc; j++ {
 		lo := m.D.SubStart(g.MyRow, j) - m.RowLo
@@ -194,13 +282,15 @@ func DegreeVec(m *Mat) *Vec {
 		}
 		send[j] = local[lo:hi]
 	}
-	recv := comm.AllToAllv(g.Row, send)
+	recv, counts := comm.AllToAllvConcat(g.Row, send, nil, nil)
 	out := NewVec(m.D, 0)
-	for _, piece := range recv {
-		for k, v := range piece {
-			out.Data[k] += v
+	pos := 0
+	for _, n := range counts {
+		for k := 0; k < n; k++ {
+			out.Data[k] += recv[pos+k]
 		}
-		g.World.Stats().AddWork(int64(len(piece)))
+		pos += n
 	}
+	g.World.Stats().AddWork(int64(len(recv)))
 	return out
 }

@@ -41,14 +41,16 @@ func New(world *comm.Comm, pr, pc int) *Grid {
 // Square builds a √p×√p grid; the world size must be a perfect square (the
 // paper's implementation has the same restriction, §V-A).
 func Square(world *comm.Comm) *Grid {
-	q := isqrt(world.Size())
+	q := Isqrt(world.Size())
 	if q*q != world.Size() {
 		panic(fmt.Sprintf("grid: world size %d is not a perfect square", world.Size()))
 	}
 	return New(world, q, q)
 }
 
-func isqrt(n int) int {
+// Isqrt returns ⌊√n⌋. It is the one shared integer square root of the
+// square-process-grid validations (here, in core and in the rcm facade).
+func Isqrt(n int) int {
 	q := 0
 	for (q+1)*(q+1) <= n {
 		q++

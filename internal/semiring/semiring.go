@@ -8,6 +8,13 @@
 // visited neighbour (Fig. 2 of the paper). This determinism is what makes
 // the distributed ordering identical to the sequential one — and it is what
 // the reproduction's equivalence tests rely on.
+//
+// The SpMSpV kernels take the semiring as a type parameter constrained by
+// Semiring (distmat.SpMSpV[S], core's sequential kernel), so passing one of
+// the concrete types below dispatches Multiply/Add statically — no
+// interface calls in the inner loops. The Semiring interface remains the
+// constraint and the dynamic fallback for callers that select a semiring at
+// runtime.
 package semiring
 
 import "math"

@@ -6,7 +6,7 @@
 // reference implementation and, on local chunks, by the distributed one.
 package spvec
 
-import "sort"
+import "repro/internal/psort"
 
 // Sp is a sparse vector: parallel, index-sorted slices of indices and
 // values. Indices are unique. The zero value is the empty vector.
@@ -50,7 +50,8 @@ func (x *Sp) IsSorted() bool {
 	return true
 }
 
-// SortByInd sorts the entries by index (used after bucket exchanges).
+// SortByInd sorts the entries by index (used after bucket exchanges) with a
+// linear-time keyed sort.
 func (x *Sp) SortByInd() {
 	type pair struct {
 		i int
@@ -60,7 +61,7 @@ func (x *Sp) SortByInd() {
 	for k := range x.Ind {
 		ps[k] = pair{x.Ind[k], x.Val[k]}
 	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
+	psort.Keyed(ps, func(p pair) uint64 { return uint64(p.i) }, 1)
 	for k := range ps {
 		x.Ind[k] = ps[k].i
 		x.Val[k] = ps[k].v
@@ -157,9 +158,20 @@ func TupleLess(a, b Tuple) bool {
 }
 
 // SortTuples sorts records lexicographically; the resulting positions are
-// the SORTPERM permutation.
+// the SORTPERM permutation. The sort is the linear-time counting/radix sort
+// over the three integer fields (the CG80-style Cuthill-McKee labeling),
+// not a comparison sort.
 func SortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return TupleLess(ts[i], ts[j]) })
+	SortTuplesWS(nil, ts)
+}
+
+// SortTuplesWS is SortTuples with an explicit scratch workspace (nil
+// allocates locally), for callers that sort once per BFS level.
+func SortTuplesWS(ws *psort.Scratch[Tuple], ts []Tuple) {
+	psort.LexWS(ws, ts, 1,
+		func(t Tuple) uint64 { return uint64(t.Parent) },
+		func(t Tuple) uint64 { return uint64(t.Degree) },
+		func(t Tuple) uint64 { return uint64(t.Vertex) })
 }
 
 // Fill sets every entry of a dense vector to v.

@@ -1,0 +1,45 @@
+package rcm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/rcm"
+)
+
+// BenchmarkOrder measures the end-to-end facade hot path — Order on the
+// generator-suite analogs — for all four backends, reporting allocations.
+// These are the wall-clock numbers of the simulation layer itself (not the
+// modelled BSP time), which is what bounds how large a virtual machine the
+// experiments can afford; the Distributed sub-benchmarks are the ones the
+// typed substrate refactor targets.
+func BenchmarkOrder(b *testing.B) {
+	const scale = 6
+	matrices := []string{"ldoor", "Serena", "nlpkkt240"}
+	backends := []struct {
+		name string
+		opts []rcm.Option
+	}{
+		{"sequential", nil},
+		{"algebraic", []rcm.Option{rcm.WithBackend(rcm.Algebraic)}},
+		{"shared", []rcm.Option{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4)}},
+		{"distributed", []rcm.Option{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(16)}},
+	}
+	for _, be := range backends {
+		for _, name := range matrices {
+			entry, err := rcm.SuiteByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := entry.Build(scale)
+			b.Run(fmt.Sprintf("%s/%s", be.name, name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := rcm.Order(m, be.opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

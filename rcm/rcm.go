@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/spmat"
 	"repro/internal/tally"
 )
@@ -105,7 +106,7 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 		fill(res, core.SharedOpt(g, c.threads, copt))
 		res.Threads = c.threads
 	case Distributed:
-		if q := isqrt(c.procs); c.procs < 1 || q*q != c.procs {
+		if q := grid.Isqrt(c.procs); c.procs < 1 || q*q != c.procs {
 			return nil, nil, fmt.Errorf("rcm: distributed backend needs a square process count, got %d", c.procs)
 		}
 		d := core.Distributed(g, core.DistOptions{
@@ -136,9 +137,9 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 }
 
 // coreOptions translates the facade's starting-vertex policy into the
-// engine's Options. For MinDegree the root is resolved here (the engine
-// only knows fixed starts), preserving the global minimum-(degree, id)
-// prescription of the classic algorithm.
+// engine's Options. The MinDegree root is resolved by the engine's
+// MinDegreeVertex policy, next to the other start-vertex policies; the
+// facade never scans graph internals itself.
 func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
 	opt := core.Options{Start: c.start, NoReverse: c.noReverse}
 	switch c.heuristic {
@@ -146,15 +147,8 @@ func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
 		// The search refines whatever the start is.
 	case MinDegree:
 		opt.SkipPeripheral = true
-		if opt.Start < 0 && g.N > 0 {
-			deg := g.Degrees()
-			best := 0
-			for v := 1; v < g.N; v++ {
-				if deg[v] < deg[best] {
-					best = v
-				}
-			}
-			opt.Start = best
+		if opt.Start < 0 {
+			opt.Start = core.MinDegreeVertex(g)
 		}
 	case FirstVertex:
 		opt.SkipPeripheral = true
@@ -169,12 +163,4 @@ func fill(res *Result, o *core.Ordering) {
 	res.Perm = o.Perm
 	res.PseudoDiameter = o.PseudoDiameter
 	res.Components = o.Components
-}
-
-func isqrt(n int) int {
-	q := 0
-	for (q+1)*(q+1) <= n {
-		q++
-	}
-	return q
 }
