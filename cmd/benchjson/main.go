@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so CI can archive the perf trajectory of
+// the hot-path benchmarks as an artifact (BENCH_order.json) instead of a
+// log to eyeball.
+//
+//	go test -run '^$' -bench '^BenchmarkOrder$' -benchtime 1x -benchmem . |
+//	    benchjson -o BENCH_order.json
+//
+// Standard columns (ns/op, B/op, allocs/op, MB/s) land in dedicated fields;
+// any custom metrics reported with testing.B.ReportMetric — such as the
+// per-direction BFS level counts td-levels / bu-levels of BenchmarkOrder —
+// are collected into the metrics map. Benchmark names of the form
+// Benchmark<Name>/<backend>/<matrix>-<procs> additionally populate the
+// backend and matrix fields, which is the shape BenchmarkOrder emits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name        string             `json:"name"`
+	Backend     string             `json:"backend,omitempty"`
+	Matrix      string             `json:"matrix,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, returning ok=false for
+// non-benchmark lines (headers, PASS, ok <pkg> ...).
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	// The name carries -<GOMAXPROCS>; sub-benchmark path segments follow
+	// the shape Benchmark<Top>/<backend>/<matrix>.
+	name := e.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if parts := strings.Split(name, "/"); len(parts) == 3 {
+		e.Backend, e.Matrix = parts[1], parts[2]
+	}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = int64(val)
+		case "allocs/op":
+			e.AllocsPerOp = int64(val)
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, true
+}
+
+func run(in io.Reader, out io.Writer) error {
+	doc := Doc{Benchmarks: []Entry{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if e, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
+	if err := run(os.Stdin, out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/rcm
+cpu: whatever
+BenchmarkOrder/distributed/ldoor-8         	     138	   8700123 ns/op	 2260000 B/op	   15680 allocs/op	        47.0 td-levels	        70.0 bu-levels
+BenchmarkOrder/sequential/Serena-8         	    2000	    612345 ns/op	  120000 B/op	     300 allocs/op
+BenchmarkComm/allgather-8                  	   10000	       123 ns/op
+PASS
+ok  	repro/rcm	4.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	e := doc.Benchmarks[0]
+	if e.Backend != "distributed" || e.Matrix != "ldoor" {
+		t.Errorf("name split: backend=%q matrix=%q", e.Backend, e.Matrix)
+	}
+	if e.Iterations != 138 || e.NsPerOp != 8700123 || e.BytesPerOp != 2260000 || e.AllocsPerOp != 15680 {
+		t.Errorf("columns: %+v", e)
+	}
+	if e.Metrics["td-levels"] != 47 || e.Metrics["bu-levels"] != 70 {
+		t.Errorf("custom metrics: %v", e.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics != nil {
+		t.Errorf("unexpected metrics on plain line: %v", doc.Benchmarks[1].Metrics)
+	}
+	if doc.Benchmarks[2].Backend != "" {
+		t.Errorf("two-segment name should not split: %+v", doc.Benchmarks[2])
+	}
+}

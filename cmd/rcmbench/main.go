@@ -8,6 +8,7 @@
 //	rcmbench -exp fig5               SpMSpV computation vs communication (Fig. 5)
 //	rcmbench -exp fig6               flat-MPI breakdown, ldoor (Fig. 6)
 //	rcmbench -exp ablation-sort      SORTPERM strategies (§VI future work)
+//	rcmbench -exp ablation-direction top-down vs bottom-up vs Auto traversal
 //	rcmbench -exp ablation-semiring  deterministic vs randomized tie-breaking
 //	rcmbench -exp ablation-hybrid    threads/process sweep at fixed cores
 //	rcmbench -exp ablation-format    CSC vs CSR-scan local kernel (§IV-A)
@@ -17,6 +18,11 @@
 //	rcmbench -exp ablation-dcsc      CSC vs DCSC block storage (hypersparsity)
 //	rcmbench -exp spy                before/after ASCII spy plots (Fig. 3 plots)
 //	rcmbench -exp all                everything above
+//
+// The -direction flag forces the traversal direction policy
+// (auto|top-down|bottom-up) of every distributed run, so the scaling
+// experiments are sweepable across directions the same way -exp
+// ablation-sort sweeps SortMode.
 //
 // Times reported for distributed runs are modelled BSP seconds under the
 // machine model (see DESIGN.md); shared-memory times are wall-clock. See
@@ -30,27 +36,35 @@ import (
 	"os"
 	"strings"
 
+	"repro/rcm"
 	"repro/rcm/bench"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|quality|sizesense|sloan|spy|all)")
+		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-direction|quality|sizesense|sloan|spy|all)")
 		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
 		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
 		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
-		procs    = flag.Int("procs", 16, "process count for the sort ablation")
+		procs    = flag.Int("procs", 16, "process count for the sort and direction ablations")
+		dir      = flag.String("direction", "auto", "traversal direction policy for distributed runs (auto|top-down|bottom-up)")
 		alpha    = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
 		beta     = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
 		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5 only)")
 	)
 	flag.Parse()
 
+	direction, err := rcm.ParseDirection(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := bench.Config{
 		Scale:         *scale,
 		MaxCores:      *maxCores,
 		AlphaNs:       *alpha,
 		BetaNsPerWord: *beta,
+		Direction:     direction,
 		Out:           os.Stdout,
 	}
 	if *matrices != "" {
@@ -114,6 +128,10 @@ func main() {
 	}
 	if run("ablation-sort") {
 		bench.RunAblationSort(cfg, *procs)
+		ran = true
+	}
+	if run("ablation-direction") {
+		bench.RunAblationDirection(cfg, *procs)
 		ran = true
 	}
 	if run("ablation-semiring") {

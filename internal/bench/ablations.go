@@ -44,7 +44,7 @@ func RunAblationSort(cfg Config, procs int) []SortAblationRow {
 		cc := CoreConfig{Cores: procs * 6, Procs: procs, Threads: 6}
 		for _, mode := range []core.SortMode{core.SortFull, core.SortLocal, core.SortNone} {
 			model := cfg.model().WithThreads(cc.Threads)
-			ord := core.Distributed(a, core.DistOptions{Procs: cc.Procs, Model: model, SortMode: mode, Options: core.Options{Start: -1}})
+			ord := core.Distributed(a, core.DistOptions{Procs: cc.Procs, Model: model, SortMode: mode, Options: cfg.options()})
 			bw := a.Permute(ord.Perm).Bandwidth()
 			total := secs(ord.Breakdown.TotalNs() - ord.Breakdown.PhaseNs(tally.Setup))
 			sortSecs := secs(ord.Breakdown.PhaseNs(tally.OrderingSort))
@@ -143,7 +143,7 @@ func RunAblationHybrid(cfg Config) []HybridAblationRow {
 	}
 	var rows []HybridAblationRow
 	for _, cc := range cfg.filterConfigs(pts) {
-		pt := runScalePoint(a, cc, cfg.model(), core.SortFull)
+		pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options())
 		rows = append(rows, HybridAblationRow{
 			Threads: cc.Threads, Procs: cc.Procs,
 			Total: pt.Total,
@@ -156,6 +156,78 @@ func RunAblationHybrid(cfg Config) []HybridAblationRow {
 	hr(w, 44)
 	for _, r := range rows {
 		fmt.Fprintf(w, "%8d %8d %11.4f %11.4f\n", r.Threads, r.Procs, r.Total, r.Comm)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
+// DirectionAblationRow compares the traversal direction policies on one
+// matrix at a fixed process count: the direction-optimized hybrid (Auto)
+// against pure top-down (the paper's algorithm) and pure bottom-up.
+type DirectionAblationRow struct {
+	Name  string
+	Procs int
+	// SecsAuto/TopDown/BottomUp are modelled seconds excluding setup.
+	SecsAuto, SecsTopDown, SecsBottomUp float64
+	// SpMSpVAuto and SpMSpVTopDown are the modelled seconds inside the
+	// SpMSpV / masked-SpMV phase (comp + comm), where the directions differ.
+	SpMSpVAuto, SpMSpVTopDown float64
+	// TDLevels and BULevels are Auto's per-direction level counts.
+	TDLevels, BULevels int64
+	// Identical reports whether all three permutations were byte-identical
+	// (the deterministic contract across directions; always true).
+	Identical bool
+}
+
+// RunAblationDirection regenerates the direction ablation: modelled time
+// under Auto / TopDown / BottomUp at a fixed process count, plus Auto's
+// level split — the experiment behind the claim that direction optimization
+// attacks the fat middle levels of low-diameter graphs without perturbing
+// the ordering.
+func RunAblationDirection(cfg Config, procs int) []DirectionAblationRow {
+	if procs < 1 {
+		procs = 16
+	}
+	var rows []DirectionAblationRow
+	for _, e := range graphgen.Suite() {
+		if !cfg.wants(e.Name) {
+			continue
+		}
+		a := e.Build(cfg.scale())
+		row := DirectionAblationRow{Name: e.Name, Procs: procs, Identical: true}
+		model := cfg.model().WithThreads(6)
+		var ref []int
+		for _, dir := range []core.Direction{core.DirAuto, core.DirTopDown, core.DirBottomUp} {
+			opt := cfg.options()
+			opt.Direction = dir
+			ord := core.Distributed(a, core.DistOptions{Procs: procs, Model: model, Options: opt})
+			total := secs(ord.Breakdown.TotalNs() - ord.Breakdown.PhaseNs(tally.Setup))
+			spmspv := secs(ord.Breakdown.PhaseNs(tally.PeripheralSpMSpV) + ord.Breakdown.PhaseNs(tally.OrderingSpMSpV))
+			switch dir {
+			case core.DirAuto:
+				row.SecsAuto, row.SpMSpVAuto = total, spmspv
+				row.TDLevels, row.BULevels = ord.Breakdown.TopDownLevels, ord.Breakdown.BottomUpLevels
+				ref = ord.Perm
+			case core.DirTopDown:
+				row.SecsTopDown, row.SpMSpVTopDown = total, spmspv
+			case core.DirBottomUp:
+				row.SecsBottomUp = total
+			}
+			if ref != nil && !reflect.DeepEqual(ord.Perm, ref) {
+				row.Identical = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: traversal direction at %d processes (modelled seconds, excl. setup)\n", procs)
+	fmt.Fprintf(w, "%-17s %9s %9s %9s | %9s %9s | %4s %4s %s\n",
+		"name", "s-auto", "s-td", "s-bu", "spmspv-a", "spmspv-td", "td", "bu", "ident")
+	hr(w, 100)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %9.4f %9.4f %9.4f | %9.4f %9.4f | %4d %4d %v\n",
+			r.Name, r.SecsAuto, r.SecsTopDown, r.SecsBottomUp,
+			r.SpMSpVAuto, r.SpMSpVTopDown, r.TDLevels, r.BULevels, r.Identical)
 	}
 	fmt.Fprintln(w)
 	return rows
@@ -185,7 +257,7 @@ func RunQuality(cfg Config, procs []int) []QualityRow {
 		row := QualityRow{Name: e.Name, Procs: procs, Identical: true}
 		var perms [][]int
 		for _, p := range procs {
-			ord := core.Distributed(a, core.DistOptions{Procs: p, Model: cfg.model(), Options: core.Options{Start: -1}})
+			ord := core.Distributed(a, core.DistOptions{Procs: p, Model: cfg.model(), Options: cfg.options()})
 			row.Bandwidths = append(row.Bandwidths, a.Permute(ord.Perm).Bandwidth())
 			perms = append(perms, ord.Perm)
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/tally"
 )
 
@@ -31,8 +32,19 @@ type Config struct {
 	// Matrices restricts suite experiments to the named matrices
 	// (nil = all nine).
 	Matrices []string
+	// Direction selects the traversal direction policy of the distributed
+	// runs the scaling experiments perform (default DirAuto).
+	Direction core.Direction
+	// DirAlpha and DirBeta override the Auto switching thresholds
+	// (0 = Beamer defaults).
+	DirAlpha, DirBeta int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+}
+
+// options returns the core engine options the configuration implies.
+func (c Config) options() core.Options {
+	return core.Options{Start: -1, Direction: c.Direction, DirAlpha: c.DirAlpha, DirBeta: c.DirBeta}
 }
 
 func (c Config) scale() int {

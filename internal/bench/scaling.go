@@ -23,7 +23,9 @@ type ScalePoint struct {
 	// Total is the sum of the five segments (the height of the bar).
 	Total float64
 	// SpMSpVComp and SpMSpVComm split all SPMSPV time into computation
-	// and communication: the two series of Fig. 5.
+	// and communication: the two series of Fig. 5. The per-direction BFS
+	// level counts of the run live on Breakdown
+	// (TopDownLevels/BottomUpLevels).
 	SpMSpVComp float64
 	SpMSpVComm float64
 }
@@ -36,13 +38,13 @@ type ScaleSeries struct {
 }
 
 // runScalePoint executes one distributed RCM run and extracts the breakdown.
-func runScalePoint(a *spmat.CSR, cc CoreConfig, base *tally.Model, mode core.SortMode) ScalePoint {
+func runScalePoint(a *spmat.CSR, cc CoreConfig, base *tally.Model, mode core.SortMode, opt core.Options) ScalePoint {
 	model := base.WithThreads(cc.Threads)
 	ord := core.Distributed(a, core.DistOptions{
 		Procs:    cc.Procs,
 		Model:    model,
 		SortMode: mode,
-		Options:  core.Options{Start: -1},
+		Options:  opt,
 	})
 	b := ord.Breakdown
 	pt := ScalePoint{
@@ -74,7 +76,7 @@ func RunScaling(cfg Config, configs []CoreConfig) []ScaleSeries {
 		a := e.Build(cfg.scale())
 		s := ScaleSeries{Name: e.Name, N: a.N, NNZ: a.NNZ()}
 		for _, cc := range configs {
-			s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull))
+			s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options()))
 		}
 		out = append(out, s)
 	}
@@ -134,7 +136,7 @@ func RunFig6(cfg Config) ScaleSeries {
 	a := e.Build(cfg.scale())
 	s := ScaleSeries{Name: "ldoor (flat MPI)", N: a.N, NNZ: a.NNZ()}
 	for _, cc := range cfg.filterConfigs(FlatConfigs()) {
-		s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull))
+		s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options()))
 	}
 	w := cfg.out()
 	fmt.Fprintf(w, "Fig 6: ldoor analog, flat MPI (t=1), modelled seconds\n")

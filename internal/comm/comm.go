@@ -435,6 +435,48 @@ func Reduce[T any](c *Comm, val T, op func(a, b T) T, root int) T {
 	return out
 }
 
+// AllReduceSliceInto element-wise folds equal-length slices across ranks with
+// op, in rank order, and returns the identical result slice on every rank
+// (into is reused when large enough; pass nil to allocate fresh). This is the
+// dense-vector collective of the direction-optimized BFS: frontier and
+// visited bitmaps are OR-reduced along a grid dimension as packed words, and
+// its modelled cost is the long-vector (reduce-scatter + all-gather) shape of
+// tally.AllReduceSliceCost rather than the short-vector tree of AllReduce.
+// Every rank must pass the same length; into must not alias local.
+func AllReduceSliceInto[T any](c *Comm, local []T, op func(a, b T) T, into []T) []T {
+	out := into[:0]
+	if cap(out) < len(local) {
+		out = make([]T, 0, len(local))
+	}
+	out = append(out, local...)
+	if c.size == 1 {
+		return out
+	}
+	depositSlice(c, local)
+	sync := c.maxClock()
+	for i := 0; i < c.size; i++ {
+		if c.slots[i].n != len(local) {
+			panic(fmt.Sprintf("comm: AllReduceSliceInto length mismatch: rank %d has %d elements, rank %d has %d",
+				c.rank, len(local), i, c.slots[i].n))
+		}
+	}
+	// Fold strictly in rank order (like AllReduce); out starts as rank 0's
+	// payload and accumulates the rest, this rank's own contribution read
+	// from the original local slice via its slot.
+	copy(out, peek[T](c, 0))
+	for i := 1; i < c.size; i++ {
+		theirs := peek[T](c, i)
+		for k := range out {
+			out[k] = op(out[k], theirs[k])
+		}
+	}
+	w := words[T](len(local))
+	cost := c.model.AllReduceSliceCost(c.size, w)
+	c.stats.CommSync(sync, cost, 2*int64(log2int(c.size)), 2*w)
+	c.release()
+	return out
+}
+
 // AllReduceSum is AllReduce specialised to integer sums.
 func AllReduceSum(c *Comm, val int64) int64 {
 	return AllReduce(c, val, func(a, b int64) int64 { return a + b })

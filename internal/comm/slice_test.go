@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTableAllReduceSliceInto(t *testing.T) {
+	forEachComm(t, func(t *testing.T, world, sub *Comm) {
+		// Element-wise OR of packed bitmap words: rank r contributes bit r
+		// in every word; the result must carry the bits of every member.
+		const n = 5
+		local := make([]uint64, n)
+		for k := range local {
+			local[k] = 1 << uint(sub.Rank())
+		}
+		got := AllReduceSliceInto(sub, local, func(a, b uint64) uint64 { return a | b }, nil)
+		want := uint64(1<<uint(sub.Size())) - 1
+		if len(got) != n {
+			t.Fatalf("len %d, want %d", len(got), n)
+		}
+		for k, v := range got {
+			if v != want {
+				t.Errorf("got[%d] = %#x, want %#x", k, v, want)
+			}
+		}
+		// Sender buffers must be untouched.
+		for k, v := range local {
+			if v != 1<<uint(sub.Rank()) {
+				t.Errorf("local[%d] mutated to %#x", k, v)
+			}
+		}
+		// Empty payload still participates.
+		empty := AllReduceSliceInto(sub, nil, func(a, b uint64) uint64 { return a | b }, nil)
+		if len(empty) != 0 {
+			t.Errorf("empty reduce returned %d elements", len(empty))
+		}
+	})
+}
+
+func TestAllReduceSliceIntoRankOrderFold(t *testing.T) {
+	// A deliberately non-commutative op: rank-order folding must make the
+	// result deterministic and identical on every rank.
+	const p = 6
+	results := make([][]int64, p)
+	Run(p, nil, func(c *Comm) {
+		local := []int64{int64(c.Rank() + 1), int64(10 * (c.Rank() + 1))}
+		got := AllReduceSliceInto(c, local, func(a, b int64) int64 { return 2*a - b }, nil)
+		results[c.Rank()] = got
+	})
+	for r := 1; r < p; r++ {
+		if results[r][0] != results[0][0] || results[r][1] != results[0][1] {
+			t.Fatalf("rank %d result %v differs from rank 0 %v", r, results[r], results[0])
+		}
+	}
+}
+
+func TestAllReduceSliceIntoReusesScratch(t *testing.T) {
+	Run(4, nil, func(c *Comm) {
+		scratch := make([]uint64, 0, 64)
+		local := make([]uint64, 16)
+		local[c.Rank()] = uint64(c.Rank() + 1)
+		out := AllReduceSliceInto(c, local, func(a, b uint64) uint64 { return a + b }, scratch)
+		if &out[0] != &scratch[:1][0] {
+			t.Error("scratch buffer not reused")
+		}
+		for r := 0; r < 4; r++ {
+			if out[r] != uint64(r+1) {
+				t.Errorf("out[%d] = %d", r, out[r])
+			}
+		}
+	})
+}
+
+// TestStressAllReduceSliceBitmaps mimics the direction-optimized BFS traffic
+// shape — interleaved bitmap OR-reduces along rows and columns of a 3x3 grid
+// with uneven local work — and checks integrity and clock determinism. Run
+// under -race in CI, this is the data-race proof for the dense bitmap
+// collectives.
+func TestStressAllReduceSliceBitmaps(t *testing.T) {
+	const p = 9
+	const rounds = 30
+	run := func() ([]uint64, float64) {
+		acc := make([]uint64, p)
+		stats := Run(p, nil, func(c *Comm) {
+			q := 3
+			row := c.Split(c.Rank()/q, c.Rank()%q)
+			col := c.Split(c.Rank()%q, c.Rank()/q)
+			rng := rand.New(rand.NewSource(int64(c.Rank()) + 3))
+			var rowBits, colBits []uint64
+			var sum uint64
+			for r := 0; r < rounds; r++ {
+				n := 1 + (r % 7)
+				local := make([]uint64, n)
+				for k := range local {
+					local[k] = uint64(1) << uint((c.Rank()+r+k)%64)
+				}
+				rowBits = AllReduceSliceInto(row, local, func(a, b uint64) uint64 { return a | b }, rowBits)
+				colBits = AllReduceSliceInto(col, local, func(a, b uint64) uint64 { return a | b }, colBits)
+				for k := range rowBits {
+					sum += rowBits[k] ^ colBits[k]
+				}
+				c.Stats().AddWork(int64(rng.Intn(40)))
+			}
+			acc[c.Rank()] = sum
+		})
+		var clock float64
+		for _, s := range stats {
+			if s.ClockNs() > clock {
+				clock = s.ClockNs()
+			}
+		}
+		return acc, clock
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	for r := range a1 {
+		if a1[r] != a2[r] {
+			t.Errorf("rank %d nondeterministic checksum: %#x vs %#x", r, a1[r], a2[r])
+		}
+	}
+	if c1 != c2 {
+		t.Errorf("virtual clock nondeterministic: %f vs %f", c1, c2)
+	}
+}

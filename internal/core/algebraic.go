@@ -10,9 +10,11 @@ import (
 // Algebraic computes the RCM ordering with a sequential transliteration of
 // the paper's matrix-algebraic formulation: Algorithm 3 (ordering) and
 // Algorithm 4 (pseudo-peripheral vertex), expressed with the Table I
-// primitives of package spvec and a sequential CSC SpMSpV. It produces the
-// identical permutation to Sequential and serves as the single-process
-// reference for the distributed implementation.
+// primitives of package spvec and a sequential CSC SpMSpV — plus, per level,
+// the direction-optimized bottom-up alternative to the SpMSpV (Beamer's
+// hybrid, selected by Options.Direction). It produces the identical
+// permutation to Sequential and serves as the single-process reference for
+// the distributed implementation.
 func Algebraic(a *spmat.CSR) *Ordering { return AlgebraicOpt(a, DefaultOptions()) }
 
 // AlgebraicOpt is Algebraic with explicit options.
@@ -21,21 +23,30 @@ func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
 	csc := a.ToCSC()
 	degInt := a.Degrees()
 	deg := make([]int64, n)
+	var totalDeg int64
 	for i, d := range degInt {
 		deg[i] = int64(d)
+		totalDeg += int64(d)
 	}
 	sr := semiring.Select2ndMin{}
 	spa := newSpa(n)
 
 	// R: dense ordering vector, -1 = unlabeled (Algorithm 3, line 1).
+	// orderVis mirrors R >= 0 as a bitmap for the bottom-up kernel, and mu
+	// tracks the edges incident to still-unlabeled vertices (the Beamer m_u
+	// count), both maintained incrementally so component-heavy inputs never
+	// pay per-component rescans.
 	r := spvec.NewDense(n, -1)
+	orderVis := spmat.NewBitmap(n)
+	mu := totalDeg
 	res := &Ordering{}
 	nv := int64(0)
+	cursor := 0
 	for {
 		start := -1
-		for v := 0; v < n; v++ {
-			if r[v] < 0 {
-				start = v
+		for ; cursor < n; cursor++ {
+			if r[cursor] < 0 {
+				start = cursor
 				break
 			}
 		}
@@ -48,12 +59,12 @@ func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
 		root := start
 		if !opt.SkipPeripheral {
 			var ecc int
-			root, ecc = algebraicPeripheral(csc, deg, start, sr, spa)
+			root, ecc = algebraicPeripheral(csc, deg, start, sr, spa, opt, orderVis, mu)
 			if ecc > res.PseudoDiameter {
 				res.PseudoDiameter = ecc
 			}
 		}
-		nv = algebraicOrder(csc, deg, r, root, nv, sr, spa)
+		nv = algebraicOrder(csc, deg, r, root, nv, sr, spa, opt, orderVis, &mu)
 		res.Components++
 	}
 	res.Perm = permFromLabels(r, !opt.NoReverse)
@@ -61,17 +72,22 @@ func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
 }
 
 // spa is the sparse accumulator scratch of the sequential SpMSpV, together
-// with the keyed-sort workspaces of the per-level sorts.
+// with the keyed-sort workspaces of the per-level sorts and the bitmap and
+// output buffers of the bottom-up kernel.
 type spa struct {
 	val     []int64
 	mark    []bool
 	touched []int
 	intWS   psort.Scratch[int]
 	tupWS   psort.Scratch[spvec.Tuple]
+
+	frontBits spmat.Bitmap // frontier bitmap, bits live only within one level
+	periVis   spmat.Bitmap // per-BFS visited bitmap of the peripheral search
+	rvOut     []spmat.RowVal
 }
 
 func newSpa(n int) *spa {
-	return &spa{val: make([]int64, n), mark: make([]bool, n)}
+	return &spa{val: make([]int64, n), mark: make([]bool, n), frontBits: spmat.NewBitmap(n)}
 }
 
 // seqSpMSpV computes A·x over the semiring: the sequential CSC kernel
@@ -102,22 +118,69 @@ func seqSpMSpV[S semiring.Semiring](a *spmat.CSC, x *spvec.Sp, sr S, s *spa) *sp
 	return out
 }
 
-// algebraicPeripheral is Algorithm 4: repeated BFS via SpMSpV, returning the
+// seqBottomUp is the sequential bottom-up level expansion: the frontier is
+// densified into a bitmap and every unvisited vertex scans its own adjacency
+// (the CSC column, since the matrix is symmetric) for frontier neighbours,
+// folding labels with the semiring. The output equals
+// Select(seqSpMSpV(a, cur), unvisited) entry for entry — the sequential form
+// of the byte-identity the distributed BottomUpStep maintains.
+func seqBottomUp[S semiring.Semiring](a *spmat.CSC, vis spmat.Bitmap, cur *spvec.Sp, labels []int64, sr S, earlyExit bool, fill int64, s *spa) *spvec.Sp {
+	for _, v := range cur.Ind {
+		s.frontBits.Set(v)
+	}
+	out, _ := spmat.BottomUpCSC(a, vis, s.frontBits, labels, sr, earlyExit, fill, s.rvOut[:0])
+	s.rvOut = out
+	for _, v := range cur.Ind {
+		s.frontBits.Unset(v)
+	}
+	next := &spvec.Sp{Ind: make([]int, 0, len(out)), Val: make([]int64, 0, len(out))}
+	for _, rv := range out {
+		next.Append(rv.Row, rv.Val)
+	}
+	return next
+}
+
+// frontierEdges sums the degrees over a frontier (the Beamer m_f count).
+func frontierEdges(x *spvec.Sp, deg []int64) int64 {
+	var mf int64
+	for _, i := range x.Ind {
+		mf += deg[i]
+	}
+	return mf
+}
+
+// algebraicPeripheral is Algorithm 4: repeated BFS via SpMSpV — or, on fat
+// levels, the label-free bottom-up sweep, where early exit per vertex is
+// legal because every frontier value carries the same level — returning the
 // minimum-(degree, id) vertex of the final BFS's last level and the best
-// eccentricity seen.
-func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Select2ndMin, s *spa) (int, int) {
+// eccentricity seen. orderVis marks the already-ordered components, which
+// seed each sweep's visited mask so bottom-up levels never rescan them
+// (output-neutral: cross-component adjacency is empty). muAll is the
+// current count of edges incident to unlabeled vertices.
+func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Select2ndMin, s *spa, opt Options, orderVis spmat.Bitmap, muAll int64) (int, int) {
 	root := start
 	prevEcc := 0
 	for {
 		l := spvec.NewDense(a.Cols, -1) // L: BFS level per vertex (-1 unvisited)
 		l[root] = 0
+		s.periVis = s.periVis.Reuse(a.Cols)
+		copy(s.periVis, orderVis)
+		s.periVis.Set(root)
+		pol := newDirPolicy(opt, a.Cols)
+		mu := muAll - deg[root]
+		curCnt, curMf := int64(1), deg[root]
 		cur := spvec.Single(root, 0)
 		last := cur
 		ecc := 0
 		for {
 			spvec.GatherDense(cur, l) // Lcur ← SET(Lcur, L)
-			next := seqSpMSpV(a, cur, sr, s)
-			next = spvec.Select(next, l, func(v int64) bool { return v == -1 })
+			var next *spvec.Sp
+			if pol.step(curCnt, curMf, mu) {
+				next = seqBottomUp(a, s.periVis, cur, nil, sr, true, 0, s)
+			} else {
+				next = seqSpMSpV(a, cur, sr, s)
+				next = spvec.Select(next, l, func(v int64) bool { return v == -1 })
+			}
 			if next.Len() == 0 {
 				break
 			}
@@ -126,6 +189,11 @@ func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Selec
 				next.Val[k] = int64(ecc)
 			}
 			spvec.SetDense(l, next) // L ← SET(L, Lnext)
+			for _, v := range next.Ind {
+				s.periVis.Set(v)
+			}
+			curCnt, curMf = int64(next.Len()), frontierEdges(next, deg)
+			mu -= curMf
 			cur, last = next, next
 		}
 		cand, _ := spvec.ArgMinBy(last, deg) // r ← REDUCE(Lcur, D)
@@ -138,17 +206,28 @@ func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Selec
 }
 
 // algebraicOrder is Algorithm 3: the ordering BFS. Frontier values carry the
-// labels of the frontier vertices; SpMSpV over (select2nd, min) hands every
-// discovered vertex its minimum-label parent; SORTPERM labels the next
-// frontier lexicographically by (parent label, degree, vertex id).
-func algebraicOrder(a *spmat.CSC, deg []int64, r []int64, root int, nv int64, sr semiring.Select2ndMin, s *spa) int64 {
+// labels of the frontier vertices; SpMSpV over (select2nd, min) — or the
+// bottom-up masked sweep, which folds the same min over all frontier
+// neighbours and is therefore byte-identical — hands every discovered vertex
+// its minimum-label parent; SORTPERM labels the next frontier
+// lexicographically by (parent label, degree, vertex id).
+func algebraicOrder(a *spmat.CSC, deg []int64, r []int64, root int, nv int64, sr semiring.Select2ndMin, s *spa, opt Options, orderVis spmat.Bitmap, mu *int64) int64 {
+	pol := newDirPolicy(opt, a.Cols)
 	r[root] = nv
+	orderVis.Set(root)
 	nv++
+	*mu -= deg[root]
+	curCnt, curMf := int64(1), deg[root]
 	cur := spvec.Single(root, 0)
 	for {
 		spvec.GatherDense(cur, r) // Lcur ← SET(Lcur, R)
-		next := seqSpMSpV(a, cur, sr, s)
-		next = spvec.Select(next, r, func(v int64) bool { return v == -1 })
+		var next *spvec.Sp
+		if pol.step(curCnt, curMf, *mu) {
+			next = seqBottomUp(a, orderVis, cur, r, sr, false, 0, s)
+		} else {
+			next = seqSpMSpV(a, cur, sr, s)
+			next = spvec.Select(next, r, func(v int64) bool { return v == -1 })
+		}
 		if next.Len() == 0 {
 			return nv
 		}
@@ -157,8 +236,11 @@ func algebraicOrder(a *spmat.CSC, deg []int64, r []int64, root int, nv int64, sr
 		spvec.SortTuplesWS(&s.tupWS, tuples)
 		for k, t := range tuples {
 			r[t.Vertex] = nv + int64(k) // R ← SET(R, Rnext)
+			orderVis.Set(t.Vertex)
 		}
 		nv += int64(len(tuples))
+		curCnt, curMf = int64(next.Len()), frontierEdges(next, deg)
+		*mu -= curMf
 		cur = next
 	}
 }

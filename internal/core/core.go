@@ -56,6 +56,12 @@ type Options struct {
 	// Reverse controls the final reversal; true (RCM) unless explicitly
 	// disabled to obtain the plain Cuthill-McKee order.
 	NoReverse bool
+	// Direction selects the traversal direction policy of the
+	// level-synchronous engines (DirAuto by default); see Direction.
+	Direction Direction
+	// DirAlpha and DirBeta override the Beamer switching thresholds of
+	// DirAuto (0 selects DefaultDirAlpha / DefaultDirBeta).
+	DirAlpha, DirBeta int
 }
 
 // DefaultOptions returns the standard RCM configuration.
@@ -113,11 +119,15 @@ func SequentialOpt(a *spmat.CSR, opt Options) *Ordering {
 		levels: make([]int, n),
 		queue:  make([]int, 0, n),
 	}
+	// cursor persists across components: labels are never unset, so the
+	// first-unlabeled scan resumes where the previous one stopped — O(n)
+	// total instead of O(n·components) on component-heavy inputs.
+	cursor := 0
 	for comp := 0; ; comp++ {
 		start := -1
-		for v := 0; v < n; v++ {
-			if labels[v] < 0 {
-				start = v
+		for ; cursor < n; cursor++ {
+			if labels[cursor] < 0 {
+				start = cursor
 				break
 			}
 		}

@@ -133,12 +133,30 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 		// Per-rank SORTPERM scratch, shared by every level and component.
 		sortWS := &distmat.SortWS{}
 
+		// mu counts the edges incident to still-unlabeled vertices — the
+		// Beamer m_u of the direction heuristic — initialised from one
+		// AllReduce and maintained by identical arithmetic on every rank.
+		// Forced top-down runs skip all direction bookkeeping (this scan,
+		// the per-sweep visited seeds and the root-degree collectives), so
+		// they remain the unencumbered baseline; the gate is uniform
+		// across ranks, keeping the collective sequence aligned.
+		mu := int64(0)
+		if opt.Direction != DirTopDown {
+			var localDeg int64
+			for _, v := range D.Data {
+				localDeg += v
+			}
+			c.Stats().AddWork(int64(len(D.Data)))
+			mu = comm.AllReduceSum(c, localDeg)
+		}
+
 		nv := int64(0)
 		pd := 0
 		nc := 0
+		cursor := 0
 		for nv < int64(n) {
 			c.Stats().SetPhase(tally.PeripheralOther)
-			start := firstUnlabeled(R)
+			start := firstUnlabeled(R, &cursor)
 			if start < 0 {
 				break
 			}
@@ -148,12 +166,12 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 			root := start
 			if !opt.SkipPeripheral {
 				var ecc int
-				root, ecc = distPeripheral(A, D, start)
+				root, ecc = distPeripheral(A, D, R, start, opt, mu)
 				if ecc > pd {
 					pd = ecc
 				}
 			}
-			nv = distOrder(A, D, R, root, nv, opt.SortMode, sortWS)
+			nv = distOrder(A, D, R, root, nv, opt, sortWS, &mu)
 			nc++
 		}
 
@@ -191,16 +209,23 @@ func graphgenScramble(a *spmat.CSR, seed int64) (*spmat.CSR, []int) {
 }
 
 // firstUnlabeled returns the smallest global index with R == -1, or -1 if
-// all vertices are labeled. Collective.
-func firstUnlabeled(r *distmat.Vec) int {
+// all vertices are labeled. cursor is the per-rank resume position of the
+// local scan: labels are never unset, so positions skipped once stay
+// labeled and the total scan cost over a run is O(n/p + components) per
+// rank instead of O(n/p·components). Collective.
+func firstUnlabeled(r *distmat.Vec, cursor *int) int {
 	best := math.MaxInt
-	for k, v := range r.Data {
-		if v < 0 {
+	k := *cursor
+	for ; k < len(r.Data); k++ {
+		if r.Data[k] < 0 {
 			best = r.Lo + k
 			break
 		}
 	}
-	r.D.G.World.Stats().AddWork(int64(len(r.Data)))
+	r.D.G.World.Stats().AddWork(int64(k - *cursor + 1))
+	// The found position may stay unlabeled if another component is
+	// processed first, so the cursor parks on it rather than past it.
+	*cursor = k
 	out := comm.AllReduce(r.D.G.World, best, func(a, b int) int {
 		if a < b {
 			return a
@@ -214,10 +239,14 @@ func firstUnlabeled(r *distmat.Vec) int {
 }
 
 // distPeripheral is Algorithm 4 on the distributed primitives: repeated
-// breadth-first searches via SPMSPV over (select2nd, min), each followed by
+// breadth-first searches via SPMSPV over (select2nd, min) — or, on fat
+// levels, the bottom-up masked SpMV of distmat.BottomUpStep, label-free
+// because every frontier value carries the same level — each followed by
 // the REDUCE picking the minimum-(degree, id) vertex of the last level,
-// until the eccentricity stops improving.
-func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
+// until the eccentricity stops improving. The direction switch runs on
+// exact AllReduced counts, so every rank flips in lockstep. muAll is the
+// current count of edges incident to unlabeled vertices.
+func distPeripheral(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, start int, opt DistOptions, muAll int64) (int, int) {
 	g := A.D.G
 	sr := semiring.Select2ndMin{}
 	root := start
@@ -225,19 +254,47 @@ func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
 	for {
 		g.World.Stats().SetPhase(tally.PeripheralOther)
 		L := distmat.NewVec(A.D, -1)
+		var rootDeg int64
+		if opt.Direction != DirTopDown {
+			// Seed the visited state from the already-ordered components,
+			// so bottom-up levels never rescan them. Output-neutral:
+			// cross-component adjacency is empty, so neither direction
+			// could discover those vertices anyway.
+			for k, v := range R.Data {
+				if v >= 0 {
+					L.Data[k] = 0
+				}
+			}
+			g.World.Stats().AddWork(int64(len(R.Data)))
+			rootDeg = distmat.DegreeOf(D, root)
+		}
 		if L.Owns(root) {
 			L.Set(root, 0)
 		}
+		pol := newDirPolicy(opt.Options, A.D.N)
+		pol.muScale = int64(g.Pr) // √p row-duplication of the masked scan
+		mu := muAll - rootDeg
+		curCnt, curMf := int64(1), rootDeg
 		cur := distmat.NewSpVSingle(A.D, root, 0)
 		last := cur
 		ecc := 0
 		for {
 			cur.GatherDense(L)
+			bu := pol.step(curCnt, curMf, mu)
 			g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
-			next := distmat.SpMSpV(A, cur, sr)
+			var next *distmat.SpV
+			if bu {
+				next = distmat.BottomUpStep(A, cur, L, sr, true, 0)
+			} else {
+				next = distmat.SpMSpV(A, cur, sr)
+			}
+			g.World.Stats().AddLevel(bu)
 			g.World.Stats().SetPhase(tally.PeripheralOther)
-			next.SelectInPlace(L, func(v int64) bool { return v == -1 })
-			if next.Nnz() == 0 {
+			if !bu {
+				next.SelectInPlace(L, func(v int64) bool { return v == -1 })
+			}
+			cnt, mf := next.CountWithDegree(D)
+			if cnt == 0 {
 				break
 			}
 			ecc++
@@ -245,6 +302,8 @@ func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
 				next.Loc.Val[k] = int64(ecc)
 			}
 			next.SetDense(L)
+			curCnt, curMf = cnt, mf
+			mu -= mf
 			cur, last = next, next
 		}
 		cand := last.ArgMinBy(D)
@@ -257,10 +316,14 @@ func distPeripheral(A *distmat.Mat, D *distmat.Vec, start int) (int, int) {
 }
 
 // distOrder is Algorithm 3 on the distributed primitives: the labeling BFS
-// whose next frontier is labeled by the distributed SORTPERM. The sort
-// workspace is per-rank scratch threaded from the Run closure so the
-// per-level steady state stops allocating.
-func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int64, mode SortMode, sortWS *distmat.SortWS) int64 {
+// whose per-level expansion runs top-down (SPMSPV) or bottom-up (the masked
+// SpMV, byte-identical because the (select2nd, min) fold sees all frontier
+// neighbours either way) under the Beamer switch, and whose next frontier is
+// labeled by the distributed SORTPERM. The sort workspace is per-rank
+// scratch threaded from the Run closure so the per-level steady state stops
+// allocating; mu is the run-level unlabeled-edge count, maintained by
+// identical arithmetic on every rank.
+func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int64, opt DistOptions, sortWS *distmat.SortWS, mu *int64) int64 {
 	g := A.D.G
 	sr := semiring.Select2ndMin{}
 	g.World.Stats().SetPhase(tally.OrderingOther)
@@ -268,20 +331,37 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 		R.Set(root, nv)
 	}
 	nv++
+	var rootDeg int64
+	if opt.Direction != DirTopDown {
+		rootDeg = distmat.DegreeOf(D, root)
+	}
+	pol := newDirPolicy(opt.Options, A.D.N)
+	pol.muScale = int64(g.Pr) // √p row-duplication of the masked scan
+	*mu -= rootDeg
+	curCnt, curMf := int64(1), rootDeg
 	cur := distmat.NewSpVSingle(A.D, root, 0)
 	for {
 		cur.GatherDense(R) // Lcur ← SET(Lcur, R)
+		bu := pol.step(curCnt, curMf, *mu)
 		g.World.Stats().SetPhase(tally.OrderingSpMSpV)
-		next := distmat.SpMSpV(A, cur, sr) // Lnext ← SPMSPV(A, Lcur)
+		var next *distmat.SpV
+		if bu {
+			next = distmat.BottomUpStep(A, cur, R, sr, false, 0) // Lnext ← masked SpMV
+		} else {
+			next = distmat.SpMSpV(A, cur, sr) // Lnext ← SPMSPV(A, Lcur)
+		}
+		g.World.Stats().AddLevel(bu)
 		g.World.Stats().SetPhase(tally.OrderingOther)
-		next.SelectInPlace(R, func(v int64) bool { return v == -1 })
-		cnt := next.Nnz()
+		if !bu {
+			next.SelectInPlace(R, func(v int64) bool { return v == -1 })
+		}
+		cnt, mf := next.CountWithDegree(D)
 		if cnt == 0 {
 			return nv
 		}
 		g.World.Stats().SetPhase(tally.OrderingSort)
 		var rnext *distmat.SpV
-		switch mode {
+		switch opt.SortMode {
 		case SortLocal:
 			rnext = distmat.SortPermLocalWS(sortWS, next, D, nv)
 		case SortNone:
@@ -292,6 +372,8 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 		g.World.Stats().SetPhase(tally.OrderingOther)
 		rnext.SetDense(R) // R ← SET(R, Rnext)
 		nv += cnt
+		curCnt, curMf = cnt, mf
+		*mu -= mf
 		cur = next
 	}
 }

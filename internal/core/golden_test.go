@@ -14,6 +14,14 @@ import (
 // and SortNone ablation orderings of the Distributed backend — must never
 // drift: substrate and sort rewrites are wall-clock changes, not output
 // changes.
+//
+// Direction optimization rides the same oracle: the default runs now take
+// the DirAuto hybrid, and TestGoldenPermutationsDirections additionally
+// forces every level bottom-up (the harshest exercise of the new kernels)
+// across backends, process counts, block storages and sort modes — all
+// pinned to the same pre-refactor hashes. A forced-BottomUp run that
+// matches a hash captured before the bottom-up kernels existed is the
+// byte-identical guarantee of the (select2nd, min) fold, end to end.
 
 const goldenScale = 8
 const goldenProcs = 4
@@ -74,6 +82,47 @@ func TestGoldenPermutationsAllBackends(t *testing.T) {
 			}
 			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortNone}).Perm); h != g.nonesort {
 				t.Errorf("distributed/SortNone: hash %#x, golden %#x", h, g.nonesort)
+			}
+		})
+	}
+}
+
+func TestGoldenPermutationsDirections(t *testing.T) {
+	bu := Options{Start: -1, Direction: DirBottomUp}
+	// Aggressive Auto thresholds, so the hybrid actually flips to
+	// bottom-up mid-BFS on these small analogs instead of staying
+	// top-down throughout.
+	auto := Options{Start: -1, Direction: DirAuto, DirAlpha: 2, DirBeta: 64}
+	for _, g := range goldenSuite {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			entry := graphgen.SuiteByName(g.name)
+			if entry == nil {
+				t.Fatalf("unknown suite matrix %q", g.name)
+			}
+			a := entry.Build(goldenScale)
+			results := map[string]uint64{
+				"algebraic/bottomup":        hashPerm(AlgebraicOpt(a, bu).Perm),
+				"algebraic/auto":            hashPerm(AlgebraicOpt(a, auto).Perm),
+				"shared/bottomup":           hashPerm(SharedOpt(a, 4, bu).Perm),
+				"shared/auto":               hashPerm(SharedOpt(a, 4, auto).Perm),
+				"distributed/bottomup":      hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Options: bu}).Perm),
+				"distributed/bottomup/p1":   hashPerm(Distributed(a, DistOptions{Procs: 1, Options: bu}).Perm),
+				"distributed/bottomup/p9":   hashPerm(Distributed(a, DistOptions{Procs: 9, Options: bu}).Perm),
+				"distributed/bottomup/dcsc": hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Hypersparse: true, Options: bu}).Perm),
+				"distributed/auto":          hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Options: auto}).Perm),
+				"distributed/auto/dcsc":     hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Hypersparse: true, Options: auto}).Perm),
+			}
+			for variant, h := range results {
+				if h != g.full {
+					t.Errorf("%s: permutation hash %#x, golden %#x", variant, h, g.full)
+				}
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortLocal, Options: bu}).Perm); h != g.local {
+				t.Errorf("distributed/SortLocal/bottomup: hash %#x, golden %#x", h, g.local)
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortNone, Options: bu}).Perm); h != g.nonesort {
+				t.Errorf("distributed/SortNone/bottomup: hash %#x, golden %#x", h, g.nonesort)
 			}
 		})
 	}

@@ -10,9 +10,12 @@ import (
 // Shared computes the RCM ordering with a level-synchronous shared-memory
 // parallel algorithm in the style of Karantasis et al. (SC'14), which is
 // what the SpMP library the paper compares against implements. Frontier
-// expansion is parallelised across threads goroutines; the per-level merge
-// keeps the deterministic contract (minimum-label parent, ties by degree
-// then id), so the result is identical to Sequential.
+// expansion is parallelised across threads goroutines, and each level runs
+// either top-down (scan the frontier's adjacency) or bottom-up (scan the
+// unvisited vertices' adjacency under a frontier-position mask), selected by
+// the Beamer heuristic of Options.Direction; the per-level merge keeps the
+// deterministic contract (minimum-label parent, ties by degree then id), so
+// the result is identical to Sequential in every direction mode.
 func Shared(a *spmat.CSR, threads int) *Ordering {
 	return SharedOpt(a, threads, DefaultOptions())
 }
@@ -30,12 +33,24 @@ func SharedOpt(a *spmat.CSR, threads int, opt Options) *Ordering {
 	}
 	res := &Ordering{}
 	nv := int64(0)
-	w := &sharedWork{a: a, deg: deg, threads: threads, levels: make([]int, n)}
+	w := &sharedWork{a: a, deg: deg, threads: threads, opt: opt, levels: make([]int, n), fpos: make([]int, n)}
+	for i := range w.fpos {
+		w.fpos[i] = -1
+	}
+	for _, d := range deg {
+		w.totalDeg += int64(d)
+	}
+	// mu counts the edges incident to still-unlabeled vertices (Beamer's
+	// m_u), maintained incrementally across levels and components; cursor
+	// resumes the first-unlabeled scan so component-heavy inputs pay O(n)
+	// total, not O(n·components).
+	w.mu = w.totalDeg
+	cursor := 0
 	for {
 		start := -1
-		for v := 0; v < n; v++ {
-			if labels[v] < 0 {
-				start = v
+		for ; cursor < n; cursor++ {
+			if labels[cursor] < 0 {
+				start = cursor
 				break
 			}
 		}
@@ -48,7 +63,7 @@ func SharedOpt(a *spmat.CSR, threads int, opt Options) *Ordering {
 		root := start
 		if !opt.SkipPeripheral {
 			var ecc int
-			root, ecc = w.peripheral(start)
+			root, ecc = w.peripheral(labels, start)
 			if ecc > res.PseudoDiameter {
 				res.PseudoDiameter = ecc
 			}
@@ -61,11 +76,15 @@ func SharedOpt(a *spmat.CSR, threads int, opt Options) *Ordering {
 }
 
 type sharedWork struct {
-	a       *spmat.CSR
-	deg     []int
-	threads int
-	levels  []int
-	sortWS  psort.Scratch[candidate]
+	a        *spmat.CSR
+	deg      []int
+	threads  int
+	opt      Options
+	levels   []int
+	sortWS   psort.Scratch[candidate]
+	fpos     []int // position of each vertex in the current frontier, -1 outside
+	totalDeg int64
+	mu       int64 // edges incident to unlabeled vertices
 }
 
 // parallelRanges invokes f(t, lo, hi) for threads contiguous slices of
@@ -121,6 +140,69 @@ func (w *sharedWork) expand(frontier []int, visited []bool) []candidate {
 	return all
 }
 
+// expandBottomUp is the direction-optimized level expansion: every unvisited
+// vertex scans its own adjacency for frontier members (their positions are
+// published in w.fpos by the caller) and keeps the minimum frontier position
+// — the minimum-label parent, since frontier order is label order. With
+// labelFree (the peripheral search, where only the discovered set matters)
+// the scan stops at the first frontier neighbour. Workers read fpos/visited
+// and write disjoint per-thread parts, so there are no races; thread parts
+// cover ascending vertex ranges, so the concatenation is sorted by child and
+// duplicate-free — exactly the postcondition of dedupe(expand(...)), which
+// keeps the downstream merge byte-identical between the two directions.
+func (w *sharedWork) expandBottomUp(visited []bool, labelFree bool) []candidate {
+	parts := make([][]candidate, w.threads)
+	w.parallelRanges(w.a.N, func(t, lo, hi int) {
+		var out []candidate
+		for u := lo; u < hi; u++ {
+			if visited[u] {
+				continue
+			}
+			best := -1
+			for _, v := range w.a.Row(u) {
+				p := w.fpos[v]
+				if p < 0 {
+					continue
+				}
+				if labelFree {
+					best = p
+					break
+				}
+				if best < 0 || p < best {
+					best = p
+				}
+			}
+			if best >= 0 {
+				out = append(out, candidate{child: u, parentPos: best})
+			}
+		}
+		parts[t] = out
+	})
+	var all []candidate
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// level runs one BFS level in the direction pol picks, returning the merged,
+// child-sorted, duplicate-free candidate list. Counts for the *next*
+// decision are returned alongside (cnt = frontier size, mf = its incident
+// edges).
+func (w *sharedWork) level(pol *dirPolicy, frontier []int, visited []bool, curCnt, curMf, mu int64, labelFree bool) []candidate {
+	if pol.step(curCnt, curMf, mu) {
+		for k, v := range frontier {
+			w.fpos[v] = k
+		}
+		cands := w.expandBottomUp(visited, labelFree)
+		for _, v := range frontier {
+			w.fpos[v] = -1
+		}
+		return cands
+	}
+	return w.dedupe(w.expand(frontier, visited))
+}
+
 // dedupe keeps, for every child, the candidate with the smallest parent
 // position (the minimum-label parent of the deterministic contract).
 // Candidates arrive sorted by parent position (expand's thread parts cover
@@ -137,21 +219,37 @@ func (w *sharedWork) dedupe(cands []candidate) []candidate {
 	return out
 }
 
-// peripheral runs the pseudo-peripheral search with parallel BFS.
-func (w *sharedWork) peripheral(start int) (int, int) {
+// candEdges sums child degrees over a candidate list (the next m_f).
+func (w *sharedWork) candEdges(cands []candidate) int64 {
+	var mf int64
+	for _, c := range cands {
+		mf += int64(w.deg[c.child])
+	}
+	return mf
+}
+
+// peripheral runs the pseudo-peripheral search with parallel BFS; levels may
+// run bottom-up with early exit, which is legal here because the search is
+// label-free (levels are direction-independent). Each sweep's visited mask
+// is seeded from the already-ordered components so bottom-up levels never
+// rescan them (output-neutral: cross-component adjacency is empty).
+func (w *sharedWork) peripheral(labels []int64, start int) (int, int) {
 	root := start
 	prevEcc := 0
 	visited := make([]bool, w.a.N)
 	for {
 		for i := range visited {
-			visited[i] = false
+			visited[i] = labels[i] >= 0
 		}
 		visited[root] = true
+		pol := newDirPolicy(w.opt, w.a.N)
+		mu := w.mu - int64(w.deg[root])
+		curCnt, curMf := int64(1), int64(w.deg[root])
 		frontier := []int{root}
 		last := frontier
 		ecc := 0
 		for {
-			cands := w.dedupe(w.expand(frontier, visited))
+			cands := w.level(&pol, frontier, visited, curCnt, curMf, mu, true)
 			if len(cands) == 0 {
 				break
 			}
@@ -160,6 +258,8 @@ func (w *sharedWork) peripheral(start int) (int, int) {
 				next[k] = c.child
 				visited[c.child] = true
 			}
+			curCnt, curMf = int64(len(cands)), w.candEdges(cands)
+			mu -= curMf
 			frontier, last = next, next
 			ecc++
 		}
@@ -177,26 +277,31 @@ func (w *sharedWork) peripheral(start int) (int, int) {
 	}
 }
 
-// order runs the labeling BFS: per level, parallel expansion, deterministic
-// merge sorted by (parent position, degree, id), then label assignment.
+// order runs the labeling BFS: per level, parallel expansion in the chosen
+// direction, deterministic merge sorted by (parent position, degree, id),
+// then label assignment.
 func (w *sharedWork) order(labels []int64, root int, nv int64) int64 {
 	visited := make([]bool, w.a.N)
 	// Vertices of previous components are visited too.
 	for v := range labels {
 		visited[v] = labels[v] >= 0
 	}
+	pol := newDirPolicy(w.opt, w.a.N)
 	labels[root] = nv
 	nv++
 	visited[root] = true
+	w.mu -= int64(w.deg[root])
+	curCnt, curMf := int64(1), int64(w.deg[root])
 	frontier := []int{root}
 	for {
-		cands := w.dedupe(w.expand(frontier, visited))
+		cands := w.level(&pol, frontier, visited, curCnt, curMf, w.mu, false)
 		if len(cands) == 0 {
 			return nv
 		}
 		// The (parentPos, degree, child) order of the deterministic merge,
-		// as stable linear-time passes (dedupe leaves cands sorted by the
-		// unique child, so only degree and parentPos passes remain).
+		// as stable linear-time passes (both expansion directions leave
+		// cands sorted by the unique child, so only degree and parentPos
+		// passes remain).
 		psort.LexWS(&w.sortWS, cands, w.threads,
 			func(c candidate) uint64 { return uint64(c.parentPos) },
 			func(c candidate) uint64 { return uint64(w.deg[c.child]) })
@@ -207,6 +312,8 @@ func (w *sharedWork) order(labels []int64, root int, nv int64) int64 {
 			labels[c.child] = nv + int64(k)
 		}
 		nv += int64(len(cands))
+		curCnt, curMf = int64(len(cands)), w.candEdges(cands)
+		w.mu -= curMf
 		frontier = next
 	}
 }

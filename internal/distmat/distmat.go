@@ -66,12 +66,20 @@ type Mat struct {
 	// dcsc, when non-nil, is the doubly compressed form of Block and the
 	// SpMSpV kernel runs over it instead (see EnableDCSC).
 	dcsc *spmat.DCSC
+	// rt is the row-major (transposed) view of Block scanned by the
+	// bottom-up kernel, built lazily on the first bottom-up level; for
+	// hypersparse blocks only the doubly compressed rtDCSC is retained.
+	buBuilt bool
+	rt      *spmat.CSC
+	rtDCSC  *spmat.DCSC
 
 	// spa is the sparse-accumulator scratch reused across SpMSpV calls.
 	spaVal  []int64
 	spaMark []bool
-	// ws holds the exchange and sort scratch of the SpMSpV pipeline.
+	// ws holds the exchange and sort scratch of the SpMSpV pipeline; bu
+	// holds the bitmap and partial buffers of the bottom-up step.
 	ws spmspvWS
+	bu bottomUpWS
 }
 
 // EnableDCSC switches the local SpMSpV kernel to the doubly compressed
@@ -298,10 +306,19 @@ func SpMSpV[S semiring.Semiring](m *Mat, x *SpV, sr S) *SpV {
 		touched = localSpMSpV(m, ws.xj, sr)
 	}
 
-	// Step 4: route outputs to their owners along the processor row. The
-	// kernel output is index-sorted and the destination sub-chunks are
-	// contiguous index ranges in rank order, so the send lists are
-	// subslices of it — no per-destination copies.
+	// Step 4: route outputs to their owners along the processor row.
+	return routeRowPartials(m, touched, sr)
+}
+
+// routeRowPartials is the shared tail of SpMSpV and BottomUpStep: partial
+// (global row, value) results are routed to their vector-chunk owners along
+// the processor row and merged with the semiring's addition — the min-reduce
+// of partials for (select2nd, min). The input is index-sorted and the
+// destination sub-chunks are contiguous index ranges in rank order, so the
+// send lists are subslices of it — no per-destination copies.
+func routeRowPartials[S semiring.Semiring](m *Mat, touched []Entry, sr S) *SpV {
+	g := m.D.G
+	ws := &m.ws
 	if cap(ws.send) < g.Pc {
 		ws.send = make([][]Entry, g.Pc)
 	}

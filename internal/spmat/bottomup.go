@@ -1,0 +1,110 @@
+package spmat
+
+import (
+	"math/bits"
+
+	"repro/internal/semiring"
+)
+
+// RowVal is one (row, value) output pair of the bottom-up kernels.
+type RowVal struct {
+	Row int
+	Val int64
+}
+
+// BottomUpCSC is the local bottom-up (masked SpMV) kernel of the
+// direction-optimized BFS. rt is the row-major view of the block: rt.Column(r)
+// lists the neighbour columns of row r, so for the distributed 2D blocks rt is
+// the transpose of the CSC block (TransposeCSC), and for a symmetric square
+// matrix the CSC itself serves.
+//
+// The kernel visits every row whose visited bit is clear — whole words of
+// visited rows are skipped, which is where the bottom-up direction wins on the
+// fat middle levels — and folds, with the semiring, the labels of the row's
+// neighbours whose frontier bit is set. Rows with at least one frontier
+// neighbour append (row, fold) to out, in ascending row order (index-sorted by
+// construction: no sparse accumulator, no output sort).
+//
+// earlyExit stops a row's scan at the first frontier neighbour and emits fill
+// instead of the fold. That is only valid when every frontier label is equal —
+// the label-free pseudo-peripheral BFS, where frontier values all carry the
+// current level — because then the semiring fold over any non-empty neighbour
+// subset is the same value. The ordering BFS must keep earlyExit false: its
+// (select2nd, min) fold has to see *all* frontier neighbours to attach the
+// vertex to its minimum-label parent, which is exactly what keeps the
+// bottom-up pass byte-identical to the top-down one. labels may be nil when
+// earlyExit is set.
+//
+// The second return is the performed work in tally units: visited-mask words
+// scanned, edges traversed, and entries emitted.
+func BottomUpCSC[S semiring.Semiring](rt *CSC, visited, frontier Bitmap, labels []int64, sr S, earlyExit bool, fill int64, out []RowVal) ([]RowVal, int64) {
+	n := rt.Cols
+	work := int64(len(visited))
+	for wi := range visited {
+		free := ^visited[wi]
+		if wi == len(visited)-1 && n&63 != 0 {
+			free &= (1 << uint(n&63)) - 1 // rows past n are not scannable
+		}
+		for free != 0 {
+			b := bits.TrailingZeros64(free)
+			free &= free - 1
+			r := wi<<6 + b
+			col := rt.Column(r)
+			acc := sr.Identity()
+			hit := false
+			for _, c := range col {
+				work++
+				if !frontier.Get(c) {
+					continue
+				}
+				if earlyExit {
+					out = append(out, RowVal{Row: r, Val: fill})
+					work++
+					hit = false
+					break
+				}
+				acc = sr.Add(acc, sr.Multiply(labels[c]))
+				hit = true
+			}
+			if hit {
+				out = append(out, RowVal{Row: r, Val: acc})
+				work++
+			}
+		}
+	}
+	return out, work
+}
+
+// BottomUpDCSC is BottomUpCSC over a doubly compressed row-major view
+// (the transpose of a hypersparse block in DCSC form): only the nonempty rows
+// are iterated, ascending, so the output stays index-sorted and the kernel
+// never touches the empty majority of a hypersparse block.
+func BottomUpDCSC[S semiring.Semiring](rt *DCSC, visited, frontier Bitmap, labels []int64, sr S, earlyExit bool, fill int64, out []RowVal) ([]RowVal, int64) {
+	work := int64(len(rt.JC))
+	for k, r := range rt.JC {
+		if visited.Get(r) {
+			continue
+		}
+		acc := sr.Identity()
+		hit := false
+		for _, c := range rt.IR[rt.CP[k]:rt.CP[k+1]] {
+			work++
+			if !frontier.Get(c) {
+				continue
+			}
+			if earlyExit {
+				out = append(out, RowVal{Row: r, Val: fill})
+				work++
+				hit = false
+				break
+			}
+			acc = sr.Add(acc, sr.Multiply(labels[c]))
+			hit = true
+		}
+		if hit {
+			out = append(out, RowVal{Row: r, Val: acc})
+			work++
+		}
+	}
+	return out, work
+}

@@ -60,3 +60,26 @@ func (a *CSR) ToCSC() *CSC {
 	t := a.Transpose()
 	return &CSC{Rows: a.N, Cols: a.N, ColPtr: t.RowPtr, Row: t.Col}
 }
+
+// TransposeCSC returns the transpose of a rectangular CSC pattern matrix: the
+// row-major view of the same block, which is what the bottom-up kernels scan.
+// A counting sort by row index; because input columns are visited in
+// ascending order, rows within each output column come out sorted.
+func TransposeCSC(a *CSC) *CSC {
+	ptr := make([]int, a.Rows+1)
+	for _, r := range a.Row {
+		ptr[r+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	rows := make([]int, len(a.Row))
+	next := append([]int(nil), ptr...)
+	for j := 0; j < a.Cols; j++ {
+		for _, r := range a.Column(j) {
+			rows[next[r]] = j
+			next[r]++
+		}
+	}
+	return &CSC{Rows: a.Cols, Cols: a.Rows, ColPtr: ptr, Row: rows}
+}

@@ -153,6 +153,20 @@ func (m *Model) AllReduceCost(q int, words int64) float64 {
 	return 2*m.AlphaNs*log2Ceil(q) + 2*m.BetaNsPerWord*float64(words)
 }
 
+// AllReduceSliceCost models an element-wise all-reduce of a dense words-long
+// vector among q ranks in the long-vector regime (Rabenseifner:
+// reduce-scatter followed by all-gather, each moving words·(q-1)/q). This is
+// the cost shape of the dense bitmap collectives of the direction-optimized
+// BFS: unlike the short-vector AllReduceCost, the bandwidth term does not
+// double as q grows.
+func (m *Model) AllReduceSliceCost(q int, words int64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	frac := float64(q-1) / float64(q)
+	return 2*m.AlphaNs*log2Ceil(q) + 2*m.BetaNsPerWord*float64(words)*frac
+}
+
 // P2PCost models a single point-to-point message of words words.
 func (m *Model) P2PCost(words int64) float64 {
 	return m.AlphaNs + m.BetaNsPerWord*float64(words)
@@ -184,6 +198,12 @@ type Stats struct {
 	Words int64
 	// Work is the total number of local work units this rank performed.
 	Work int64
+
+	// TopDownLevels and BottomUpLevels count the BFS levels this rank ran
+	// in each traversal direction (peripheral search and ordering combined);
+	// the direction switch is computed from AllReduced exact counts, so the
+	// counts are identical on every rank of a run.
+	TopDownLevels, BottomUpLevels int64
 }
 
 // NewStats returns a Stats bound to the given model, starting in the Setup
@@ -214,6 +234,15 @@ func (s *Stats) AddWork(units int64) {
 	dt := float64(units) * s.model.CompNsPerUnit / float64(s.model.Threads)
 	s.clockNs += dt
 	s.CompNs[s.phase] += dt
+}
+
+// AddLevel records one BFS level run in the given traversal direction.
+func (s *Stats) AddLevel(bottomUp bool) {
+	if bottomUp {
+		s.BottomUpLevels++
+	} else {
+		s.TopDownLevels++
+	}
 }
 
 // CommSync implements the BSP step of a collective: the clock jumps to
@@ -268,6 +297,11 @@ type Breakdown struct {
 	Words int64
 	// Work is summed over ranks.
 	Work int64
+	// TopDownLevels and BottomUpLevels are the per-direction BFS level
+	// counts of the run. Every rank runs the same levels in the same
+	// direction (the switch is decided from AllReduced counts), so the
+	// aggregate is the maximum over ranks, not a sum.
+	TopDownLevels, BottomUpLevels int64
 }
 
 // Collect aggregates per-rank stats.
@@ -288,6 +322,12 @@ func Collect(stats []*Stats) Breakdown {
 		b.Msgs += s.Msgs
 		b.Words += s.Words
 		b.Work += s.Work
+		if s.TopDownLevels > b.TopDownLevels {
+			b.TopDownLevels = s.TopDownLevels
+		}
+		if s.BottomUpLevels > b.BottomUpLevels {
+			b.BottomUpLevels = s.BottomUpLevels
+		}
 	}
 	inv := 1 / float64(b.Ranks)
 	for p := Phase(0); p < NumPhases; p++ {

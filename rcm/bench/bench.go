@@ -12,7 +12,9 @@ import (
 	"os"
 
 	ibench "repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/tally"
+	"repro/rcm"
 )
 
 // Config selects the scale and scope of an experiment run.
@@ -31,6 +33,10 @@ type Config struct {
 	// latency and inverse bandwidth (0 = calibrated default). See
 	// DESIGN.md for the calibration rationale.
 	AlphaNs, BetaNsPerWord float64
+	// Direction selects the traversal direction policy of the distributed
+	// runs (rcm.Auto by default), so every scaling experiment is sweepable
+	// across directions like it is across sort modes.
+	Direction rcm.Direction
 	// Out receives the rendered tables (nil = os.Stdout).
 	Out io.Writer
 }
@@ -50,11 +56,12 @@ func (c Config) internal() ibench.Config {
 		out = os.Stdout
 	}
 	return ibench.Config{
-		Scale:    c.Scale,
-		MaxCores: c.MaxCores,
-		Matrices: c.Matrices,
-		Model:    model,
-		Out:      out,
+		Scale:     c.Scale,
+		MaxCores:  c.MaxCores,
+		Matrices:  c.Matrices,
+		Model:     model,
+		Direction: core.Direction(c.Direction),
+		Out:       out,
 	}
 }
 
@@ -124,6 +131,13 @@ func RunFig6(cfg Config) { ibench.RunFig6(cfg.internal()) }
 // process-local sort, no sort) at the given process count — the paper's
 // §VI future-work alternatives.
 func RunAblationSort(cfg Config, procs int) { ibench.RunAblationSort(cfg.internal(), procs) }
+
+// RunAblationDirection compares the traversal direction policies (the
+// direction-optimized Auto hybrid, pure top-down, pure bottom-up) at the
+// given process count, reporting modelled time, the SpMSpV-phase split and
+// Auto's per-direction level counts — and verifying the permutations stay
+// byte-identical across directions.
+func RunAblationDirection(cfg Config, procs int) { ibench.RunAblationDirection(cfg.internal(), procs) }
 
 // RunAblationSemiring compares deterministic vs randomized tie-breaking in
 // the (select2nd, min) semiring over the given number of seeds.

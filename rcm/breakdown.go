@@ -31,14 +31,21 @@ type Breakdown struct {
 	// Messages and Words count the traffic summed over all ranks (words
 	// are 8-byte).
 	Messages, Words int64
+	// TopDownLevels and BottomUpLevels count the BFS levels the run
+	// expanded in each traversal direction (pseudo-peripheral search and
+	// ordering combined); see WithDirection. Every rank runs the same
+	// levels, so these are per-run counts, not per-rank sums.
+	TopDownLevels, BottomUpLevels int64
 }
 
 // newBreakdown converts the internal tally into the public form.
 func newBreakdown(b tally.Breakdown) *Breakdown {
 	out := &Breakdown{
-		Seconds:  tally.Seconds(b.TotalNs()),
-		Messages: b.Msgs,
-		Words:    b.Words,
+		Seconds:        tally.Seconds(b.TotalNs()),
+		Messages:       b.Msgs,
+		Words:          b.Words,
+		TopDownLevels:  b.TopDownLevels,
+		BottomUpLevels: b.BottomUpLevels,
 	}
 	for p := tally.Phase(0); p < tally.NumPhases; p++ {
 		out.Phases = append(out.Phases, PhaseTime{

@@ -1,0 +1,99 @@
+package rcm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDirectionModesAgree is the facade-level byte-identity statement of
+// direction optimization: every direction mode, on every level-synchronous
+// backend, returns the permutation of the default top-down sequential run.
+func TestDirectionModesAgree(t *testing.T) {
+	a := scrambled(t)
+	ref, err := Order(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []struct {
+		name string
+		opts []Option
+	}{
+		{"algebraic", []Option{WithBackend(Algebraic)}},
+		{"shared", []Option{WithBackend(Shared), WithThreads(4)}},
+		{"distributed", []Option{WithBackend(Distributed), WithProcs(4)}},
+		{"distributed-dcsc", []Option{WithBackend(Distributed), WithProcs(4), WithHypersparse(true)}},
+	} {
+		for _, d := range []Direction{Auto, TopDown, BottomUp} {
+			opts := append([]Option{WithDirection(d)}, b.opts...)
+			res, err := Order(a, opts...)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.name, d, err)
+			}
+			if !reflect.DeepEqual(res.Perm, ref.Perm) {
+				t.Errorf("%s/%v: permutation differs from sequential", b.name, d)
+			}
+		}
+		// Aggressive thresholds force a mid-BFS hybrid flip; still identical.
+		opts := append([]Option{WithDirectionThresholds(2, 64)}, b.opts...)
+		res, err := Order(a, opts...)
+		if err != nil {
+			t.Fatalf("%s/thresholds: %v", b.name, err)
+		}
+		if !reflect.DeepEqual(res.Perm, ref.Perm) {
+			t.Errorf("%s/thresholds(2,64): permutation differs from sequential", b.name)
+		}
+	}
+}
+
+func TestDirectionLevelsInBreakdown(t *testing.T) {
+	a := scrambled(t)
+	res, err := Order(a, WithBackend(Distributed), WithProcs(4), WithDirection(BottomUp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modeled == nil {
+		t.Fatal("no modelled breakdown")
+	}
+	if res.Modeled.BottomUpLevels == 0 || res.Modeled.TopDownLevels != 0 {
+		t.Errorf("forced bottom-up recorded td=%d bu=%d levels",
+			res.Modeled.TopDownLevels, res.Modeled.BottomUpLevels)
+	}
+	res, err = Order(a, WithBackend(Distributed), WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modeled.TopDownLevels == 0 {
+		t.Error("default Auto recorded no top-down levels")
+	}
+}
+
+func TestDirectionValidation(t *testing.T) {
+	a := scrambled(t)
+	if _, err := Order(a, WithDirectionThresholds(-1, 24)); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := Order(a, WithDirection(Direction(9))); err == nil {
+		t.Error("unknown direction accepted")
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	for s, want := range map[string]Direction{
+		"auto": Auto, "top-down": TopDown, "td": TopDown, "topdown": TopDown,
+		"bottom-up": BottomUp, "bu": BottomUp, "bottomup": BottomUp,
+	} {
+		got, err := ParseDirection(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDirection(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseDirection("sideways"); err == nil {
+		t.Error("ParseDirection accepted nonsense")
+	}
+	for _, d := range []Direction{Auto, TopDown, BottomUp} {
+		back, err := ParseDirection(d.String())
+		if err != nil || back != d {
+			t.Errorf("round trip of %v failed: %v, %v", d, back, err)
+		}
+	}
+}

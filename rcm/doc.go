@@ -17,6 +17,7 @@
 //	    rcm.WithProcs(16),                    // simulated MPI processes (perfect square)
 //	    rcm.WithThreads(6),                   // threads per process / shared-memory threads
 //	    rcm.WithSortMode(rcm.SortLocal),      // frontier labeling strategy (§VI)
+//	    rcm.WithDirection(rcm.Auto),          // traversal direction: Auto | TopDown | BottomUp
 //	    rcm.WithStartHeuristic(rcm.MinDegree))
 //
 // All four backends obey one deterministic contract (ties by vertex id,

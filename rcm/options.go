@@ -89,6 +89,56 @@ func (m SortMode) String() string {
 	return fmt.Sprintf("SortMode(%d)", int(m))
 }
 
+// Direction selects the traversal direction policy of the level-synchronous
+// backends (Algebraic, Shared, Distributed): whether each BFS level expands
+// top-down (scan the frontier's adjacency — the paper's SpMSpV sweep) or
+// bottom-up (scan the unvisited vertices' adjacency under a dense frontier
+// bitmap — Beamer's direction optimization). Because the (select2nd, min)
+// semiring folds the minimum over all visited neighbours in either
+// direction, the computed permutation is byte-identical across modes; only
+// the work and communication shape change. The Sequential backend has no
+// level structure to optimize and ignores it.
+type Direction int
+
+const (
+	// Auto switches per level with Beamer's α/β heuristic from exact
+	// global frontier/unexplored edge counts (AllReduced in the
+	// Distributed backend, so every rank flips in lockstep). The default.
+	Auto Direction = iota
+	// TopDown forces the classic frontier-driven sweep on every level.
+	TopDown
+	// BottomUp forces the bottom-up masked sweep on every level. Mostly
+	// useful for tests and ablations; Auto is never worse.
+	BottomUp
+)
+
+// String names the direction as accepted by ParseDirection.
+func (d Direction) String() string {
+	switch d {
+	case Auto:
+		return "auto"
+	case TopDown:
+		return "top-down"
+	case BottomUp:
+		return "bottom-up"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// ParseDirection maps a command-line name to a Direction. It accepts
+// auto|top-down|bottom-up and the short forms td|bu|topdown|bottomup.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "auto":
+		return Auto, nil
+	case "top-down", "topdown", "td":
+		return TopDown, nil
+	case "bottom-up", "bottomup", "bu":
+		return BottomUp, nil
+	}
+	return 0, fmt.Errorf("rcm: unknown direction %q (want auto|top-down|bottom-up)", s)
+}
+
 // StartHeuristic selects how the root vertex of the first component's BFS
 // is chosen — the pluggable starting-node policy that RCM++
 // (arXiv:2409.04171) argues materially affects ordering quality.
@@ -126,6 +176,9 @@ type config struct {
 	backend     Backend
 	sortMode    SortMode
 	heuristic   StartHeuristic
+	direction   Direction
+	dirAlpha    int // 0: default
+	dirBeta     int // 0: default
 	start       int // -1: unset
 	threads     int
 	procs       int
@@ -157,6 +210,21 @@ func WithSortMode(m SortMode) Option { return func(c *config) { c.sortMode = m }
 // component (later components always start from their smallest unvisited
 // vertex id, per the deterministic contract).
 func WithStartHeuristic(h StartHeuristic) Option { return func(c *config) { c.heuristic = h } }
+
+// WithDirection selects the traversal direction policy of the
+// level-synchronous backends (Auto, TopDown or BottomUp). The permutation
+// is identical in every mode; see Direction.
+func WithDirection(d Direction) Option { return func(c *config) { c.direction = d } }
+
+// WithDirectionThresholds overrides the α and β switching thresholds of the
+// Auto direction policy: the traversal goes bottom-up while the frontier is
+// growing and touches more than 1/alpha of the edges still incident to
+// unexplored vertices, and returns top-down once it shrinks below 1/beta of
+// the vertices. Zero keeps a threshold at its Beamer default (α=14, β=24);
+// negative values are rejected by Order.
+func WithDirectionThresholds(alpha, beta int) Option {
+	return func(c *config) { c.dirAlpha, c.dirBeta = alpha, beta }
+}
 
 // WithStartVertex pins the vertex the first component's search starts from.
 // Under PseudoPeripheral it seeds the peripheral sweeps; under the other

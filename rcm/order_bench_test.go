@@ -12,10 +12,16 @@ import (
 // These are the wall-clock numbers of the simulation layer itself (not the
 // modelled BSP time), which is what bounds how large a virtual machine the
 // experiments can afford; the Distributed sub-benchmarks are the ones the
-// typed substrate refactor targets.
+// typed substrate refactor targets, and the low-diameter matrices
+// (Li7Nmax6, Nm7, Serena) are where the direction-optimized traversal pays.
+//
+// Distributed runs additionally report the per-direction level counts of
+// the default Auto policy as custom metrics (td-levels / bu-levels), which
+// cmd/benchjson folds into the BENCH_order.json artifact CI uploads — the
+// machine-readable perf trajectory.
 func BenchmarkOrder(b *testing.B) {
 	const scale = 6
-	matrices := []string{"ldoor", "Serena", "nlpkkt240"}
+	matrices := []string{"ldoor", "Serena", "nlpkkt240", "Li7Nmax6", "Nm7"}
 	backends := []struct {
 		name string
 		opts []rcm.Option
@@ -34,10 +40,17 @@ func BenchmarkOrder(b *testing.B) {
 			m := entry.Build(scale)
 			b.Run(fmt.Sprintf("%s/%s", be.name, name), func(b *testing.B) {
 				b.ReportAllocs()
+				var last *rcm.Result
 				for i := 0; i < b.N; i++ {
-					if _, err := rcm.Order(m, be.opts...); err != nil {
+					res, err := rcm.Order(m, be.opts...)
+					if err != nil {
 						b.Fatal(err)
 					}
+					last = res
+				}
+				if last != nil && last.Modeled != nil {
+					b.ReportMetric(float64(last.Modeled.TopDownLevels), "td-levels")
+					b.ReportMetric(float64(last.Modeled.BottomUpLevels), "bu-levels")
 				}
 			})
 		}

@@ -81,6 +81,14 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 	if c.threads < 1 {
 		return nil, nil, fmt.Errorf("rcm: threads must be >= 1, got %d", c.threads)
 	}
+	if c.dirAlpha < 0 || c.dirBeta < 0 {
+		return nil, nil, fmt.Errorf("rcm: direction thresholds must be >= 0, got alpha=%d beta=%d", c.dirAlpha, c.dirBeta)
+	}
+	switch c.direction {
+	case Auto, TopDown, BottomUp:
+	default:
+		return nil, nil, fmt.Errorf("rcm: unknown direction %v", c.direction)
+	}
 
 	// The graph the algorithms traverse: symmetric by construction.
 	g := a.csr
@@ -141,7 +149,13 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 // MinDegreeVertex policy, next to the other start-vertex policies; the
 // facade never scans graph internals itself.
 func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
-	opt := core.Options{Start: c.start, NoReverse: c.noReverse}
+	opt := core.Options{
+		Start:     c.start,
+		NoReverse: c.noReverse,
+		Direction: core.Direction(c.direction),
+		DirAlpha:  c.dirAlpha,
+		DirBeta:   c.dirBeta,
+	}
 	switch c.heuristic {
 	case PseudoPeripheral:
 		// The search refines whatever the start is.
