@@ -12,6 +12,16 @@
 // are collected into the metrics map. Benchmark names of the form
 // Benchmark<Name>/<backend>/<matrix>-<procs> additionally populate the
 // backend and matrix fields, which is the shape BenchmarkOrder emits.
+//
+// Compare mode guards the perf trajectory between CI runs:
+//
+//	benchjson -compare -threshold 0.25 baseline.json fresh.json
+//
+// matches benchmarks by name, computes the per-benchmark ns/op ratio
+// fresh/baseline, and exits nonzero when the MEDIAN ratio exceeds
+// 1+threshold — a median so that one noisy single-iteration benchmark
+// cannot fail (or mask) the gate on its own. Benchmarks present on only
+// one side are reported and skipped.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -105,9 +116,90 @@ func run(in io.Reader, out io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// loadDoc reads a JSON document produced by the default mode.
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// compare reports the fresh/baseline ns/op ratios and returns the median
+// ratio together with whether anything was comparable.
+func compare(baseline, fresh Doc, out io.Writer) (median float64, ok bool) {
+	base := make(map[string]Entry, len(baseline.Benchmarks))
+	for _, e := range baseline.Benchmarks {
+		base[e.Name] = e
+	}
+	var ratios []float64
+	for _, e := range fresh.Benchmarks {
+		b, found := base[e.Name]
+		if !found {
+			fmt.Fprintf(out, "%-60s (new benchmark, skipped)\n", e.Name)
+			continue
+		}
+		if b.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		r := e.NsPerOp / b.NsPerOp
+		ratios = append(ratios, r)
+		fmt.Fprintf(out, "%-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", e.Name, b.NsPerOp, e.NsPerOp, 100*(r-1))
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		median = ratios[mid]
+	} else {
+		median = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	return median, true
+}
+
+// runCompare implements -compare; returns the process exit code.
+func runCompare(oldPath, newPath string, threshold float64, out io.Writer) int {
+	baseline, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintf(out, "benchjson: baseline: %v\n", err)
+		return 1
+	}
+	fresh, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintf(out, "benchjson: fresh: %v\n", err)
+		return 1
+	}
+	median, ok := compare(baseline, fresh, out)
+	if !ok {
+		fmt.Fprintln(out, "benchjson: no comparable benchmarks; passing")
+		return 0
+	}
+	fmt.Fprintf(out, "median ratio %.3f (threshold %.3f)\n", median, 1+threshold)
+	if median > 1+threshold {
+		fmt.Fprintf(out, "benchjson: median regression %.1f%% exceeds %.0f%%\n", 100*(median-1), 100*threshold)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two JSON documents: benchjson -compare baseline.json fresh.json")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: fail when the median ns/op ratio exceeds 1+threshold")
 	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: baseline.json fresh.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout))
+	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

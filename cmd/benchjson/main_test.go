@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -45,5 +46,67 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if doc.Benchmarks[2].Backend != "" {
 		t.Errorf("two-segment name should not split: %+v", doc.Benchmarks[2])
+	}
+}
+
+func mkDoc(ns ...float64) Doc {
+	d := Doc{}
+	names := []string{"A", "B", "C", "D", "E"}
+	for i, v := range ns {
+		d.Benchmarks = append(d.Benchmarks, Entry{Name: names[i], NsPerOp: v})
+	}
+	return d
+}
+
+func TestCompareMedian(t *testing.T) {
+	var out bytes.Buffer
+	base := mkDoc(100, 100, 100)
+	// Ratios 1.0, 1.1, 2.0 -> median 1.1: inside a 25% threshold even
+	// though one benchmark doubled.
+	med, ok := compare(base, mkDoc(100, 110, 200), &out)
+	if !ok || med != 1.1 {
+		t.Fatalf("median = %v, %v", med, ok)
+	}
+	// Even count: mean of the middle two (1.2 and 1.4, up to rounding).
+	med, ok = compare(mkDoc(100, 100, 100, 100), mkDoc(100, 120, 140, 400), &out)
+	if !ok || med < 1.299 || med > 1.301 {
+		t.Fatalf("even median = %v, %v", med, ok)
+	}
+	// Unmatched benchmarks are skipped, not compared.
+	med, ok = compare(mkDoc(100), Doc{Benchmarks: []Entry{{Name: "zzz", NsPerOp: 1e9}}}, &out)
+	if ok {
+		t.Fatalf("unmatched compared: %v", med)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Error("skip not reported")
+	}
+}
+
+func TestRunCompareThreshold(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d Doc) string {
+		path := dir + "/" + name
+		data, _ := json.Marshal(d)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", mkDoc(100, 100, 100))
+	slower := write("slower.json", mkDoc(130, 130, 130)) // median +30%
+	faster := write("faster.json", mkDoc(90, 110, 100))  // median 1.0
+
+	var out bytes.Buffer
+	if code := runCompare(base, slower, 0.25, &out); code == 0 {
+		t.Errorf("30%% median regression passed:\n%s", out.String())
+	}
+	if code := runCompare(base, slower, 0.50, &out); code != 0 {
+		t.Errorf("30%% regression failed a 50%% threshold:\n%s", out.String())
+	}
+	if code := runCompare(base, faster, 0.25, &out); code != 0 {
+		t.Errorf("neutral run failed:\n%s", out.String())
+	}
+	if code := runCompare(dir+"/missing.json", faster, 0.25, &out); code == 0 {
+		t.Error("missing baseline passed")
 	}
 }

@@ -9,6 +9,7 @@
 //	rcmbench -exp fig6               flat-MPI breakdown, ldoor (Fig. 6)
 //	rcmbench -exp ablation-sort      SORTPERM strategies (§VI future work)
 //	rcmbench -exp ablation-direction top-down vs bottom-up vs Auto traversal
+//	rcmbench -exp ablation-heuristic start-vertex heuristics (RCM++ bi-criteria)
 //	rcmbench -exp ablation-semiring  deterministic vs randomized tie-breaking
 //	rcmbench -exp ablation-hybrid    threads/process sweep at fixed cores
 //	rcmbench -exp ablation-format    CSC vs CSR-scan local kernel (§IV-A)
@@ -20,8 +21,10 @@
 //	rcmbench -exp all                everything above
 //
 // The -direction flag forces the traversal direction policy
-// (auto|top-down|bottom-up) of every distributed run, so the scaling
-// experiments are sweepable across directions the same way -exp
+// (auto|top-down|bottom-up) of every distributed run, and the -heuristic
+// flag forces the start-vertex heuristic
+// (pseudo-peripheral|bi-criteria|min-degree|first-vertex) of every run, so
+// the scaling experiments are sweepable across both the same way -exp
 // ablation-sort sweeps SortMode.
 //
 // Times reported for distributed runs are modelled BSP seconds under the
@@ -42,12 +45,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-direction|quality|sizesense|sloan|spy|all)")
+		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|all)")
 		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
 		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
 		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
 		procs    = flag.Int("procs", 16, "process count for the sort and direction ablations")
 		dir      = flag.String("direction", "auto", "traversal direction policy for distributed runs (auto|top-down|bottom-up)")
+		heur     = flag.String("heuristic", "pseudo-peripheral", "start-vertex heuristic for every run (pseudo-peripheral|bi-criteria|min-degree|first-vertex)")
 		alpha    = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
 		beta     = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
 		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5 only)")
@@ -59,12 +63,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
 		os.Exit(2)
 	}
+	heuristic, err := rcm.ParseHeuristic(*heur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmbench: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := bench.Config{
 		Scale:         *scale,
 		MaxCores:      *maxCores,
 		AlphaNs:       *alpha,
 		BetaNsPerWord: *beta,
 		Direction:     direction,
+		Heuristic:     heuristic,
 		Out:           os.Stdout,
 	}
 	if *matrices != "" {
@@ -132,6 +142,10 @@ func main() {
 	}
 	if run("ablation-direction") {
 		bench.RunAblationDirection(cfg, *procs)
+		ran = true
+	}
+	if run("ablation-heuristic") {
+		bench.RunAblationHeuristic(cfg, *procs)
 		ran = true
 	}
 	if run("ablation-semiring") {

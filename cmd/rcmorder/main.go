@@ -2,7 +2,7 @@
 // Market file and reports the bandwidth and profile before and after.
 //
 //	rcmorder -in matrix.mtx [-method seq|shared|algebraic|dist] [-procs 16]
-//	         [-threads 2] [-start pseudo-peripheral|min-degree|first]
+//	         [-threads 2] [-start pseudo-peripheral|bi-criteria|min-degree|first-vertex]
 //	         [-out permuted.mtx] [-perm order.perm] [-spy]
 //
 // Non-symmetric inputs are symmetrized (pattern of A ∪ Aᵀ) before ordering,
@@ -26,7 +26,7 @@ func main() {
 		method  = flag.String("method", "seq", "ordering implementation: seq|shared|algebraic|dist")
 		procs   = flag.Int("procs", 16, "simulated processes for -method dist (perfect square)")
 		threads = flag.Int("threads", 2, "threads for -method shared / model threads for dist")
-		start   = flag.String("start", "pseudo-peripheral", "starting-vertex heuristic: pseudo-peripheral|min-degree|first")
+		start   = flag.String("start", "pseudo-peripheral", "starting-vertex heuristic: pseudo-peripheral|bi-criteria|min-degree|first-vertex")
 		outPath = flag.String("out", "", "write the permuted matrix here (Matrix Market)")
 		permOut = flag.String("perm", "", "write the permutation here (1-based, one index per line)")
 		spy     = flag.Bool("spy", false, "print before/after ASCII spy plots")
@@ -43,16 +43,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 		os.Exit(2)
 	}
-	var heuristic rcm.StartHeuristic
-	switch *start {
-	case "pseudo-peripheral":
-		heuristic = rcm.PseudoPeripheral
-	case "min-degree":
-		heuristic = rcm.MinDegree
-	case "first":
-		heuristic = rcm.FirstVertex
-	default:
-		fmt.Fprintf(os.Stderr, "rcmorder: unknown heuristic %q\n", *start)
+	heuristic, err := rcm.ParseHeuristic(*start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmorder: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -36,6 +36,9 @@ func main() {
 
 	fmt.Println("\nstarting-vertex heuristics:")
 	row("pseudo-peripheral (default)")
+	row("bi-criteria (RCM++)", rcm.WithStartHeuristic(rcm.BiCriteria))
+	row("bi-criteria, height-leaning", rcm.WithStartHeuristic(rcm.BiCriteria),
+		rcm.WithBiCriteriaWeights(1, 4))
 	row("min-degree", rcm.WithStartHeuristic(rcm.MinDegree))
 	row("first-vertex", rcm.WithStartHeuristic(rcm.FirstVertex))
 	row("pinned start 0", rcm.WithStartHeuristic(rcm.FirstVertex), rcm.WithStartVertex(0))

@@ -44,7 +44,7 @@ func RunAblationSort(cfg Config, procs int) []SortAblationRow {
 		cc := CoreConfig{Cores: procs * 6, Procs: procs, Threads: 6}
 		for _, mode := range []core.SortMode{core.SortFull, core.SortLocal, core.SortNone} {
 			model := cfg.model().WithThreads(cc.Threads)
-			ord := core.Distributed(a, core.DistOptions{Procs: cc.Procs, Model: model, SortMode: mode, Options: cfg.options()})
+			ord := core.Distributed(a, core.DistOptions{Procs: cc.Procs, Model: model, SortMode: mode, Options: cfg.optionsFor(a)})
 			bw := a.Permute(ord.Perm).Bandwidth()
 			total := secs(ord.Breakdown.TotalNs() - ord.Breakdown.PhaseNs(tally.Setup))
 			sortSecs := secs(ord.Breakdown.PhaseNs(tally.OrderingSort))
@@ -143,7 +143,7 @@ func RunAblationHybrid(cfg Config) []HybridAblationRow {
 	}
 	var rows []HybridAblationRow
 	for _, cc := range cfg.filterConfigs(pts) {
-		pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options())
+		pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.optionsFor(a))
 		rows = append(rows, HybridAblationRow{
 			Threads: cc.Threads, Procs: cc.Procs,
 			Total: pt.Total,
@@ -198,7 +198,7 @@ func RunAblationDirection(cfg Config, procs int) []DirectionAblationRow {
 		model := cfg.model().WithThreads(6)
 		var ref []int
 		for _, dir := range []core.Direction{core.DirAuto, core.DirTopDown, core.DirBottomUp} {
-			opt := cfg.options()
+			opt := cfg.optionsFor(a)
 			opt.Direction = dir
 			ord := core.Distributed(a, core.DistOptions{Procs: procs, Model: model, Options: opt})
 			total := secs(ord.Breakdown.TotalNs() - ord.Breakdown.PhaseNs(tally.Setup))
@@ -233,6 +233,97 @@ func RunAblationDirection(cfg Config, procs int) []DirectionAblationRow {
 	return rows
 }
 
+// HeuristicAblationRow compares the start-vertex heuristics on one matrix:
+// ordering quality (bandwidth, profile) under the paper's pseudo-peripheral
+// search, the RCM++ bi-criteria finder, and the cheap MinDegree/FirstVertex
+// baselines, plus the search cost (BFS sweeps) and the cross-engine identity
+// check for the two searching heuristics.
+type HeuristicAblationRow struct {
+	Name     string
+	Procs    int
+	BWBefore int
+	// BW and Prof are the post-ordering bandwidth and profile per
+	// heuristic, in the order peripheral, bi-criteria, min-degree,
+	// first-vertex.
+	BW   [4]int
+	Prof [4]int64
+	// SweepsPeripheral and SweepsBiCriteria are the start-search BFS sweep
+	// counts of the distributed runs (the bi-criteria finder's extra
+	// cost); CandidateSweeps is how many of the bi-criteria run's sweeps
+	// ran under the multi-candidate shortlist (all of them, by
+	// construction — the counter exists to tell the finders apart in
+	// mixed reporting).
+	SweepsPeripheral, SweepsBiCriteria, CandidateSweeps int64
+	// Identical reports whether the distributed permutation matched the
+	// sequential one for both searching heuristics (the deterministic
+	// contract under the start-policy subsystem; always true).
+	Identical bool
+}
+
+// heuristicOrder is the column order of HeuristicAblationRow.BW/Prof.
+var heuristicOrder = [4]string{"pseudo-peripheral", "bi-criteria", "min-degree", "first-vertex"}
+
+// RunAblationHeuristic regenerates the start-heuristic ablation: ordering
+// quality per heuristic over the generator suite — the RCM++ claim is that
+// the bi-criteria finder's bandwidth is at most the pseudo-peripheral
+// default's on most matrices — together with the sweep counts the finder
+// pays and the cross-engine identity check.
+func RunAblationHeuristic(cfg Config, procs int) []HeuristicAblationRow {
+	if procs < 1 {
+		procs = 16
+	}
+	var rows []HeuristicAblationRow
+	for _, e := range graphgen.Suite() {
+		if !cfg.wants(e.Name) {
+			continue
+		}
+		a := e.Build(cfg.scale())
+		row := HeuristicAblationRow{Name: e.Name, Procs: procs, BWBefore: a.Bandwidth(), Identical: true}
+		model := cfg.model().WithThreads(6)
+		for hi, h := range heuristicOrder {
+			opt := cfg.optionsFor(a)
+			applyHeuristic(&opt, a, h)
+			seq := core.SequentialOpt(a, opt)
+			p := a.Permute(seq.Perm)
+			row.BW[hi], row.Prof[hi] = p.Bandwidth(), p.Profile()
+			if h != "pseudo-peripheral" && h != "bi-criteria" {
+				continue
+			}
+			// The searching heuristics also run distributed, for the
+			// sweep counters and the identity check.
+			ord := core.Distributed(a, core.DistOptions{Procs: procs, Model: model, Options: opt})
+			if !reflect.DeepEqual(ord.Perm, seq.Perm) {
+				row.Identical = false
+			}
+			if h == "pseudo-peripheral" {
+				row.SweepsPeripheral = ord.Breakdown.PeripheralSweeps
+			} else {
+				row.SweepsBiCriteria = ord.Breakdown.PeripheralSweeps
+				row.CandidateSweeps = ord.Breakdown.CandidateSweeps
+			}
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: start-vertex heuristic at %d processes (bandwidth / profile after RCM)\n", procs)
+	fmt.Fprintf(w, "%-17s %8s | %7s %9s | %7s %9s %5s | %7s %9s | %7s %9s | %6s %s\n",
+		"name", "bw-pre", "bw-pp", "prof-pp", "bw-bc", "prof-bc", "Δbw", "bw-md", "prof-md", "bw-fv", "prof-fv", "sweeps", "ident")
+	hr(w, 132)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %8d | %7d %9d | %7d %9d %+5d | %7d %9d | %7d %9d | %2d/%-3d %v\n",
+			r.Name, r.BWBefore, r.BW[0], r.Prof[0], r.BW[1], r.Prof[1], r.BW[1]-r.BW[0],
+			r.BW[2], r.Prof[2], r.BW[3], r.Prof[3], r.SweepsPeripheral, r.SweepsBiCriteria, r.Identical)
+	}
+	better := 0
+	for _, r := range rows {
+		if r.BW[1] <= r.BW[0] {
+			better++
+		}
+	}
+	fmt.Fprintf(w, "bi-criteria bandwidth <= pseudo-peripheral on %d/%d matrices\n\n", better, len(rows))
+	return rows
+}
+
 // QualityRow records the ordering quality of one matrix across process
 // counts — the §I claim that quality is insensitive to concurrency. Under
 // the deterministic contract the bandwidths are identical.
@@ -257,7 +348,7 @@ func RunQuality(cfg Config, procs []int) []QualityRow {
 		row := QualityRow{Name: e.Name, Procs: procs, Identical: true}
 		var perms [][]int
 		for _, p := range procs {
-			ord := core.Distributed(a, core.DistOptions{Procs: p, Model: cfg.model(), Options: cfg.options()})
+			ord := core.Distributed(a, core.DistOptions{Procs: p, Model: cfg.model(), Options: cfg.optionsFor(a)})
 			row.Bandwidths = append(row.Bandwidths, a.Permute(ord.Perm).Bandwidth())
 			perms = append(perms, ord.Perm)
 		}

@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/spmat"
 	"repro/internal/tally"
 )
 
@@ -38,13 +39,45 @@ type Config struct {
 	// DirAlpha and DirBeta override the Auto switching thresholds
 	// (0 = Beamer defaults).
 	DirAlpha, DirBeta int
+	// Heuristic selects the start-vertex heuristic of every run, by its
+	// canonical facade name: "pseudo-peripheral" (also ""), "bi-criteria",
+	// "min-degree" or "first-vertex". Unknown names panic — command-line
+	// front ends validate with rcm.ParseHeuristic first.
+	Heuristic string
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }
 
-// options returns the core engine options the configuration implies.
-func (c Config) options() core.Options {
-	return core.Options{Start: -1, Direction: c.Direction, DirAlpha: c.DirAlpha, DirBeta: c.DirBeta}
+// optionsFor returns the core engine options the configuration implies for
+// one matrix. The matrix parameter resolves the heuristics that inspect the
+// graph (min-degree needs the global minimum-degree vertex).
+func (c Config) optionsFor(a *spmat.CSR) core.Options {
+	opt := core.Options{Start: -1, Direction: c.Direction, DirAlpha: c.DirAlpha, DirBeta: c.DirBeta}
+	applyHeuristic(&opt, a, c.Heuristic)
+	return opt
+}
+
+// applyHeuristic resolves a canonical heuristic name into engine options,
+// mirroring the facade's coreOptions translation. Every start-vertex field
+// is assigned on every path, so a later call fully overrides an earlier one
+// (RunAblationHeuristic re-applies each column's heuristic on top of the
+// base configuration).
+func applyHeuristic(opt *core.Options, a *spmat.CSR, name string) {
+	opt.Policy = nil
+	opt.SkipPeripheral = false
+	opt.Start = -1
+	switch name {
+	case "", "pseudo-peripheral":
+	case "bi-criteria":
+		opt.Policy = core.BiCriteriaPolicy{}
+	case "min-degree":
+		opt.SkipPeripheral = true
+		opt.Start = core.MinDegreeVertex(a)
+	case "first-vertex":
+		opt.SkipPeripheral = true
+	default:
+		panic(fmt.Sprintf("bench: unknown heuristic %q", name))
+	}
 }
 
 func (c Config) scale() int {

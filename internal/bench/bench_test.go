@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
 )
 
 // fastCfg keeps the experiment tests quick: tiny analogs, few cores.
@@ -275,6 +278,74 @@ func TestRunAblationSort(t *testing.T) {
 	if RunAblationSort(Config{Scale: 10, Matrices: []string{"Nm7"}}, 0)[0].Procs != 16 {
 		t.Error("default procs")
 	}
+}
+
+func TestRunAblationHeuristic(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Scale: 8, Out: &buf, Matrices: []string{"ldoor", "Serena"}}
+	rows := RunAblationHeuristic(cfg, 4)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for hi, name := range heuristicOrder {
+			if r.BW[hi] <= 0 || r.Prof[hi] <= 0 {
+				t.Errorf("%s/%s: missing quality numbers: %+v", r.Name, name, r)
+			}
+			if r.BW[hi] >= r.BWBefore {
+				t.Errorf("%s/%s: bandwidth %d not reduced from %d", r.Name, name, r.BW[hi], r.BWBefore)
+			}
+		}
+		// The cross-engine identity oracle under both searching
+		// heuristics.
+		if !r.Identical {
+			t.Errorf("%s: distributed permutation diverged from sequential", r.Name)
+		}
+		// The bi-criteria finder pays extra sweeps for its candidate
+		// evaluations; the classic search evaluates none.
+		if r.SweepsBiCriteria <= r.SweepsPeripheral || r.CandidateSweeps == 0 {
+			t.Errorf("%s: sweep counts pp=%d bc=%d cand=%d", r.Name, r.SweepsPeripheral, r.SweepsBiCriteria, r.CandidateSweeps)
+		}
+	}
+	if !strings.Contains(buf.String(), "bi-criteria bandwidth") {
+		t.Error("summary line missing")
+	}
+	if RunAblationHeuristic(Config{Scale: 10, Matrices: []string{"Nm7"}}, 0)[0].Procs != 16 {
+		t.Error("default procs")
+	}
+}
+
+func TestConfigHeuristicThreadsThroughOptions(t *testing.T) {
+	a := graphgen.SuiteByName("ldoor").Build(10)
+	for _, h := range []string{"", "pseudo-peripheral", "bi-criteria", "min-degree", "first-vertex"} {
+		opt := Config{Heuristic: h}.optionsFor(a)
+		ord := core.SequentialOpt(a, opt)
+		if got := len(ord.Perm); got != a.N {
+			t.Errorf("%q: perm length %d", h, got)
+		}
+		skip := h == "min-degree" || h == "first-vertex"
+		if opt.SkipPeripheral != skip {
+			t.Errorf("%q: SkipPeripheral = %v", h, opt.SkipPeripheral)
+		}
+	}
+	// Re-applying a heuristic fully overrides the previous one: a base
+	// -heuristic min-degree must not leak its skip/start into the
+	// ablation's pseudo-peripheral column.
+	opt := Config{Heuristic: "min-degree"}.optionsFor(a)
+	applyHeuristic(&opt, a, "pseudo-peripheral")
+	if opt.SkipPeripheral || opt.Start != -1 || opt.Policy != nil {
+		t.Errorf("override leaked state: %+v", opt)
+	}
+	applyHeuristic(&opt, a, "bi-criteria")
+	if opt.SkipPeripheral || opt.Policy == nil {
+		t.Errorf("bi-criteria override leaked state: %+v", opt)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown heuristic accepted")
+		}
+	}()
+	Config{Heuristic: "nope"}.optionsFor(a)
 }
 
 func TestRunAblationSemiring(t *testing.T) {

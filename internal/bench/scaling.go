@@ -76,7 +76,7 @@ func RunScaling(cfg Config, configs []CoreConfig) []ScaleSeries {
 		a := e.Build(cfg.scale())
 		s := ScaleSeries{Name: e.Name, N: a.N, NNZ: a.NNZ()}
 		for _, cc := range configs {
-			s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options()))
+			s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.optionsFor(a)))
 		}
 		out = append(out, s)
 	}
@@ -136,7 +136,7 @@ func RunFig6(cfg Config) ScaleSeries {
 	a := e.Build(cfg.scale())
 	s := ScaleSeries{Name: "ldoor (flat MPI)", N: a.N, NNZ: a.NNZ()}
 	for _, cc := range cfg.filterConfigs(FlatConfigs()) {
-		s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options()))
+		s.Points = append(s.Points, runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.optionsFor(a)))
 	}
 	w := cfg.out()
 	fmt.Fprintf(w, "Fig 6: ldoor analog, flat MPI (t=1), modelled seconds\n")

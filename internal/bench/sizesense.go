@@ -39,7 +39,7 @@ func RunSizeSensitivity(cfg Config, name string, scales []int) []SizePoint {
 		sp := SizePoint{Scale: s, N: a.N, NNZ: a.NNZ()}
 		best := -1.0
 		for _, cc := range cfg.filterConfigs(HybridConfigs()) {
-			pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options())
+			pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.optionsFor(a))
 			sp.Points = append(sp.Points, pt)
 			if best < 0 || pt.Total < best {
 				best = pt.Total

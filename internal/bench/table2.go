@@ -67,7 +67,7 @@ func RunTable2(cfg Config) []Table2Row {
 		}
 		row.SharedBW = a.Permute(sharedPerm).Bandwidth()
 		for _, cc := range distCfgs {
-			pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.options())
+			pt := runScalePoint(a, cc, cfg.model(), core.SortFull, cfg.optionsFor(a))
 			row.DistCores = append(row.DistCores, cc.Cores)
 			row.DistModeledSecs = append(row.DistModeledSecs, pt.Total)
 			row.DistBW = pt.Bandwidth
@@ -110,7 +110,7 @@ func RunTable2(cfg Config) []Table2Row {
 		a := e.Build(cfg.scale())
 		gather := GatherCost(a.NNZ(), 169, cfg)
 		gatherPaper := GatherCost(int(e.PaperNNZ), 169, cfg)
-		pt := runScalePoint(a, CoreConfig{Cores: 1014, Procs: 169, Threads: 6}, cfg.model(), core.SortFull, cfg.options())
+		pt := runScalePoint(a, CoreConfig{Cores: 1014, Procs: 169, Threads: 6}, cfg.model(), core.SortFull, cfg.optionsFor(a))
 		fmt.Fprintf(w, "%-17s %16.4f %18.4f %22.4f\n", r.Name, gather, pt.Total, gatherPaper)
 	}
 	fmt.Fprintln(w)

@@ -59,7 +59,8 @@ func AlgebraicOpt(a *spmat.CSR, opt Options) *Ordering {
 		root := start
 		if !opt.SkipPeripheral {
 			var ecc int
-			root, ecc = algebraicPeripheral(csc, deg, start, sr, spa, opt, orderVis, mu)
+			sw := &algSweeper{a: csc, deg: deg, sr: sr, s: spa, opt: opt, orderVis: orderVis, muAll: mu}
+			root, ecc = opt.policy().PickRoot(start, sw)
 			if ecc > res.PseudoDiameter {
 				res.PseudoDiameter = ecc
 			}
@@ -149,60 +150,76 @@ func frontierEdges(x *spvec.Sp, deg []int64) int64 {
 	return mf
 }
 
-// algebraicPeripheral is Algorithm 4: repeated BFS via SpMSpV — or, on fat
-// levels, the label-free bottom-up sweep, where early exit per vertex is
-// legal because every frontier value carries the same level — returning the
-// minimum-(degree, id) vertex of the final BFS's last level and the best
-// eccentricity seen. orderVis marks the already-ordered components, which
-// seed each sweep's visited mask so bottom-up levels never rescan them
-// (output-neutral: cross-component adjacency is empty). muAll is the
+// algSweeper is the Algebraic engine's rooted-BFS oracle for the
+// start-vertex policies: one Sweep is one iteration of Algorithm 4's
+// repeated BFS, via SpMSpV — or, on fat levels, the label-free bottom-up
+// sweep, where early exit per vertex is legal because every frontier value
+// carries the same level. orderVis marks the already-ordered components,
+// which seed each sweep's visited mask so bottom-up levels never rescan
+// them (output-neutral: cross-component adjacency is empty). muAll is the
 // current count of edges incident to unlabeled vertices.
-func algebraicPeripheral(a *spmat.CSC, deg []int64, start int, sr semiring.Select2ndMin, s *spa, opt Options, orderVis spmat.Bitmap, muAll int64) (int, int) {
-	root := start
-	prevEcc := 0
+type algSweeper struct {
+	a        *spmat.CSC
+	deg      []int64
+	sr       semiring.Select2ndMin
+	s        *spa
+	opt      Options
+	orderVis spmat.Bitmap
+	muAll    int64
+}
+
+// Sweep runs one BFS from root and summarizes its level structure; the
+// candidate shortlist realises the r ← REDUCE(Lcur, D) step (and its
+// bi-criteria K-way generalization) over the last level.
+func (sw *algSweeper) Sweep(root, maxCand int) LevelStructure {
+	a, s := sw.a, sw.s
+	l := spvec.NewDense(a.Cols, -1) // L: BFS level per vertex (-1 unvisited)
+	l[root] = 0
+	s.periVis = s.periVis.Reuse(a.Cols)
+	copy(s.periVis, sw.orderVis)
+	s.periVis.Set(root)
+	pol := newDirPolicy(sw.opt, a.Cols)
+	mu := sw.muAll - sw.deg[root]
+	curCnt, curMf := int64(1), sw.deg[root]
+	cur := spvec.Single(root, 0)
+	last := cur
+	ecc := 0
+	width := int64(1)
 	for {
-		l := spvec.NewDense(a.Cols, -1) // L: BFS level per vertex (-1 unvisited)
-		l[root] = 0
-		s.periVis = s.periVis.Reuse(a.Cols)
-		copy(s.periVis, orderVis)
-		s.periVis.Set(root)
-		pol := newDirPolicy(opt, a.Cols)
-		mu := muAll - deg[root]
-		curCnt, curMf := int64(1), deg[root]
-		cur := spvec.Single(root, 0)
-		last := cur
-		ecc := 0
-		for {
-			spvec.GatherDense(cur, l) // Lcur ← SET(Lcur, L)
-			var next *spvec.Sp
-			if pol.step(curCnt, curMf, mu) {
-				next = seqBottomUp(a, s.periVis, cur, nil, sr, true, 0, s)
-			} else {
-				next = seqSpMSpV(a, cur, sr, s)
-				next = spvec.Select(next, l, func(v int64) bool { return v == -1 })
-			}
-			if next.Len() == 0 {
-				break
-			}
-			ecc++
-			for k := range next.Val {
-				next.Val[k] = int64(ecc)
-			}
-			spvec.SetDense(l, next) // L ← SET(L, Lnext)
-			for _, v := range next.Ind {
-				s.periVis.Set(v)
-			}
-			curCnt, curMf = int64(next.Len()), frontierEdges(next, deg)
-			mu -= curMf
-			cur, last = next, next
+		spvec.GatherDense(cur, l) // Lcur ← SET(Lcur, L)
+		var next *spvec.Sp
+		if pol.step(curCnt, curMf, mu) {
+			next = seqBottomUp(a, s.periVis, cur, nil, sw.sr, true, 0, s)
+		} else {
+			next = seqSpMSpV(a, cur, sw.sr, s)
+			next = spvec.Select(next, l, func(v int64) bool { return v == -1 })
 		}
-		cand, _ := spvec.ArgMinBy(last, deg) // r ← REDUCE(Lcur, D)
-		if ecc <= prevEcc {
-			return cand, prevEcc
+		if next.Len() == 0 {
+			break
 		}
-		prevEcc = ecc
-		root = cand
+		ecc++
+		if int64(next.Len()) > width {
+			width = int64(next.Len())
+		}
+		for k := range next.Val {
+			next.Val[k] = int64(ecc)
+		}
+		spvec.SetDense(l, next) // L ← SET(L, Lnext)
+		for _, v := range next.Ind {
+			s.periVis.Set(v)
+		}
+		curCnt, curMf = int64(next.Len()), frontierEdges(next, sw.deg)
+		mu -= curMf
+		cur, last = next, next
 	}
+	ls := LevelStructure{Root: root, Height: ecc, Width: width}
+	if maxCand > 1 {
+		ls.RootDeg = sw.deg[root]
+	}
+	for _, v := range last.Ind {
+		ls.Candidates = pushCandidate(ls.Candidates, Candidate{ID: v, Deg: sw.deg[v]}, maxCand)
+	}
+	return ls
 }
 
 // algebraicOrder is Algorithm 3: the ordering BFS. Frontier values carry the

@@ -47,12 +47,16 @@ type Ordering struct {
 // Options controls an ordering computation.
 type Options struct {
 	// Start pins the starting vertex of the first component; -1 (the
-	// default) lets the pseudo-peripheral search run from the smallest
-	// vertex id. Used by tests and by callers that know a good vertex.
+	// default) lets the start-vertex search run from the smallest vertex
+	// id. Used by tests and by callers that know a good vertex.
 	Start int
 	// SkipPeripheral uses Start (or the smallest unvisited id) directly
-	// as the root without the pseudo-peripheral search.
+	// as the root without any start-vertex search.
 	SkipPeripheral bool
+	// Policy selects the start-vertex search that refines each component's
+	// seed into the BFS root; nil selects PeripheralPolicy (the paper's
+	// Algorithm 2/4). Ignored when SkipPeripheral is set.
+	Policy StartPolicy
 	// Reverse controls the final reversal; true (RCM) unless explicitly
 	// disabled to obtain the plain Cuthill-McKee order.
 	NoReverse bool
@@ -140,7 +144,7 @@ func SequentialOpt(a *spmat.CSR, opt Options) *Ordering {
 		r := start
 		if !opt.SkipPeripheral {
 			var ecc int
-			r, ecc = pseudoPeripheral(a, deg, start, scratch)
+			r, ecc = opt.policy().PickRoot(start, &seqSweeper{a: a, deg: deg, s: scratch})
 			if ecc > res.PseudoDiameter {
 				res.PseudoDiameter = ecc
 			}
@@ -159,13 +163,14 @@ type seqScratch struct {
 }
 
 // bfsLevels runs a BFS from r, filling scratch.levels (-1 outside the
-// reached set) and returning the eccentricity and the vertices of the last
-// level.
-func bfsLevels(a *spmat.CSR, r int, s *seqScratch) (ecc int, last []int) {
+// reached set) and returning the eccentricity, the maximum level size and
+// the vertices of the last level.
+func bfsLevels(a *spmat.CSR, r int, s *seqScratch) (ecc int, width int64, last []int) {
 	for i := range s.levels {
 		s.levels[i] = -1
 	}
 	s.levels[r] = 0
+	width = 1
 	frontier := append(s.queue[:0], r)
 	var next []int
 	for {
@@ -179,33 +184,43 @@ func bfsLevels(a *spmat.CSR, r int, s *seqScratch) (ecc int, last []int) {
 			}
 		}
 		if len(next) == 0 {
-			return s.levels[frontier[0]], frontier
+			return ecc, width, frontier
+		}
+		if int64(len(next)) > width {
+			width = int64(len(next))
 		}
 		frontier = append(frontier[:0], next...)
 		ecc++
 	}
 }
 
+// seqSweeper is the Sequential engine's rooted-BFS oracle for the
+// start-vertex policies.
+type seqSweeper struct {
+	a   *spmat.CSR
+	deg []int
+	s   *seqScratch
+}
+
+// Sweep summarizes one classic queue-based BFS.
+func (sw *seqSweeper) Sweep(root, maxCand int) LevelStructure {
+	ecc, width, last := bfsLevels(sw.a, root, sw.s)
+	ls := LevelStructure{Root: root, Height: ecc, Width: width}
+	if maxCand > 1 {
+		ls.RootDeg = int64(sw.deg[root])
+	}
+	for _, v := range last {
+		ls.Candidates = pushCandidate(ls.Candidates, Candidate{ID: v, Deg: int64(sw.deg[v])}, maxCand)
+	}
+	return ls
+}
+
 // pseudoPeripheral implements Algorithm 2/4 semantics: repeat BFS from the
 // minimum-(degree, id) vertex of the last level while the eccentricity
 // improves; return the final candidate and the best eccentricity seen.
+// Kept as the direct sequential entry point of the default policy.
 func pseudoPeripheral(a *spmat.CSR, deg []int, start int, s *seqScratch) (r, ecc int) {
-	r = start
-	prevEcc := 0
-	for {
-		e, last := bfsLevels(a, r, s)
-		cand := last[0]
-		for _, v := range last[1:] {
-			if deg[v] < deg[cand] || (deg[v] == deg[cand] && v < cand) {
-				cand = v
-			}
-		}
-		if e <= prevEcc {
-			return cand, prevEcc
-		}
-		prevEcc = e
-		r = cand
-	}
+	return PeripheralPolicy{}.PickRoot(start, &seqSweeper{a: a, deg: deg, s: s})
 }
 
 // cmComponent labels one connected component in Cuthill-McKee order starting

@@ -166,7 +166,8 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 			root := start
 			if !opt.SkipPeripheral {
 				var ecc int
-				root, ecc = distPeripheral(A, D, R, start, opt, mu)
+				sw := &distSweeper{A: A, D: D, R: R, opt: opt, muAll: mu}
+				root, ecc = opt.policy().PickRoot(start, sw)
 				if ecc > pd {
 					pd = ecc
 				}
@@ -238,81 +239,103 @@ func firstUnlabeled(r *distmat.Vec, cursor *int) int {
 	return out
 }
 
-// distPeripheral is Algorithm 4 on the distributed primitives: repeated
-// breadth-first searches via SPMSPV over (select2nd, min) — or, on fat
-// levels, the bottom-up masked SpMV of distmat.BottomUpStep, label-free
-// because every frontier value carries the same level — each followed by
-// the REDUCE picking the minimum-(degree, id) vertex of the last level,
-// until the eccentricity stops improving. The direction switch runs on
-// exact AllReduced counts, so every rank flips in lockstep. muAll is the
+// distSweeper is the Distributed engine's rooted-BFS oracle for the
+// start-vertex policies: one Sweep is one iteration of Algorithm 4 on the
+// distributed primitives — a breadth-first search via SPMSPV over
+// (select2nd, min), or, on fat levels, the bottom-up masked SpMV of
+// distmat.BottomUpStep, label-free because every frontier value carries the
+// same level — followed by the K-way REDUCE shortlisting the
+// minimum-(degree, id) vertices of the last level. The direction switch and
+// the level widths run on exact AllReduced counts, and the candidate
+// shortlist is merged identically on every rank, so every rank returns the
+// identical LevelStructure and the policy decides in lockstep. muAll is the
 // current count of edges incident to unlabeled vertices.
-func distPeripheral(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, start int, opt DistOptions, muAll int64) (int, int) {
+type distSweeper struct {
+	A     *distmat.Mat
+	D     *distmat.Vec
+	R     *distmat.Vec
+	opt   DistOptions
+	muAll int64
+}
+
+// Sweep runs one collective BFS from root and summarizes its level
+// structure. Collective: all ranks call it with identical arguments.
+func (sw *distSweeper) Sweep(root, maxCand int) LevelStructure {
+	A, D, R, opt := sw.A, sw.D, sw.R, sw.opt
 	g := A.D.G
 	sr := semiring.Select2ndMin{}
-	root := start
-	prevEcc := 0
-	for {
-		g.World.Stats().SetPhase(tally.PeripheralOther)
-		L := distmat.NewVec(A.D, -1)
-		var rootDeg int64
-		if opt.Direction != DirTopDown {
-			// Seed the visited state from the already-ordered components,
-			// so bottom-up levels never rescan them. Output-neutral:
-			// cross-component adjacency is empty, so neither direction
-			// could discover those vertices anyway.
-			for k, v := range R.Data {
-				if v >= 0 {
-					L.Data[k] = 0
-				}
+	g.World.Stats().SetPhase(tally.PeripheralOther)
+	g.World.Stats().AddSweep(maxCand > 1)
+	L := distmat.NewVec(A.D, -1)
+	var rootDeg int64
+	if opt.Direction != DirTopDown {
+		// Seed the visited state from the already-ordered components,
+		// so bottom-up levels never rescan them. Output-neutral:
+		// cross-component adjacency is empty, so neither direction
+		// could discover those vertices anyway.
+		for k, v := range R.Data {
+			if v >= 0 {
+				L.Data[k] = 0
 			}
-			g.World.Stats().AddWork(int64(len(R.Data)))
-			rootDeg = distmat.DegreeOf(D, root)
 		}
-		if L.Owns(root) {
-			L.Set(root, 0)
-		}
-		pol := newDirPolicy(opt.Options, A.D.N)
-		pol.muScale = int64(g.Pr) // √p row-duplication of the masked scan
-		mu := muAll - rootDeg
-		curCnt, curMf := int64(1), rootDeg
-		cur := distmat.NewSpVSingle(A.D, root, 0)
-		last := cur
-		ecc := 0
-		for {
-			cur.GatherDense(L)
-			bu := pol.step(curCnt, curMf, mu)
-			g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
-			var next *distmat.SpV
-			if bu {
-				next = distmat.BottomUpStep(A, cur, L, sr, true, 0)
-			} else {
-				next = distmat.SpMSpV(A, cur, sr)
-			}
-			g.World.Stats().AddLevel(bu)
-			g.World.Stats().SetPhase(tally.PeripheralOther)
-			if !bu {
-				next.SelectInPlace(L, func(v int64) bool { return v == -1 })
-			}
-			cnt, mf := next.CountWithDegree(D)
-			if cnt == 0 {
-				break
-			}
-			ecc++
-			for k := range next.Loc.Val {
-				next.Loc.Val[k] = int64(ecc)
-			}
-			next.SetDense(L)
-			curCnt, curMf = cnt, mf
-			mu -= mf
-			cur, last = next, next
-		}
-		cand := last.ArgMinBy(D)
-		if ecc <= prevEcc {
-			return cand, prevEcc
-		}
-		prevEcc = ecc
-		root = cand
+		g.World.Stats().AddWork(int64(len(R.Data)))
 	}
+	if opt.Direction != DirTopDown || maxCand > 1 {
+		// One collective serves both consumers: the direction policy's mu
+		// bookkeeping and the bi-criteria tie-breaking degree. The value
+		// never depends on the direction mode, so neither does the policy.
+		rootDeg = distmat.DegreeOf(D, root)
+	}
+	if L.Owns(root) {
+		L.Set(root, 0)
+	}
+	pol := newDirPolicy(opt.Options, A.D.N)
+	pol.muScale = int64(g.Pr) // √p row-duplication of the masked scan
+	mu := sw.muAll - rootDeg
+	curCnt, curMf := int64(1), rootDeg
+	cur := distmat.NewSpVSingle(A.D, root, 0)
+	last := cur
+	ecc := 0
+	width := int64(1)
+	for {
+		cur.GatherDense(L)
+		bu := pol.step(curCnt, curMf, mu)
+		g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
+		var next *distmat.SpV
+		if bu {
+			next = distmat.BottomUpStep(A, cur, L, sr, true, 0)
+		} else {
+			next = distmat.SpMSpV(A, cur, sr)
+		}
+		g.World.Stats().AddLevel(bu)
+		g.World.Stats().SetPhase(tally.PeripheralOther)
+		if !bu {
+			next.SelectInPlace(L, func(v int64) bool { return v == -1 })
+		}
+		cnt, mf := next.CountWithDegree(D)
+		if cnt == 0 {
+			break
+		}
+		ecc++
+		if cnt > width {
+			width = cnt
+		}
+		for k := range next.Loc.Val {
+			next.Loc.Val[k] = int64(ecc)
+		}
+		next.SetDense(L)
+		curCnt, curMf = cnt, mf
+		mu -= mf
+		cur, last = next, next
+	}
+	ls := LevelStructure{Root: root, Height: ecc, Width: width}
+	if maxCand > 1 {
+		ls.RootDeg = rootDeg
+	}
+	for _, c := range last.ArgMinKBy(D, maxCand) {
+		ls.Candidates = append(ls.Candidates, Candidate{ID: c.Ind, Deg: c.Key})
+	}
+	return ls
 }
 
 // distOrder is Algorithm 3 on the distributed primitives: the labeling BFS

@@ -87,6 +87,60 @@ func TestGoldenPermutationsAllBackends(t *testing.T) {
 	}
 }
 
+// goldenBiCriteria pins the BiCriteria start-heuristic permutations,
+// captured when the start-policy subsystem landed. The suite exercises all
+// four backends (which must agree with each other, level by level, under
+// the K-way candidate shortlist and AllReduced widths), the 1/4/9 process
+// grids, DCSC block storage, and the SortLocal/SortNone ablations.
+var goldenBiCriteria = []struct {
+	name                  string
+	full, local, nonesort uint64
+}{
+	{"nd24k", 0x1bcbda3af0e6f7a5, 0x1bcbda3af0e6f7a5, 0x1bcbda3af0e6f7a5},
+	{"ldoor", 0x7dda0966b0fd7971, 0xc919706d2af8c701, 0x7843021101ddd67d},
+	{"Serena", 0x7fe162afbff27da5, 0x4712a98b49842ae5, 0x74d4f5af7aae6ac5},
+	{"audikw_1", 0xff5e3c828c5f68a5, 0xb6a8f8aa7402cba5, 0xad8580dacc385e45},
+	{"dielFilterV3real", 0xea0717b5f3f6125, 0xbf1e3b7737a52cc5, 0x231482954cffc385},
+	{"Flan_1565", 0x2ec1ea629669f225, 0x8182b85c690f7045, 0x8182b85c690f7045},
+	{"Li7Nmax6", 0xa62ea3d1d56f65cb, 0x42e943e061849127, 0xa312ae042e57933},
+	{"Nm7", 0xc392e1a32cccc5b4, 0x3c8bc2eff6eb2e2c, 0x1d65e3bb87d271ec},
+	{"nlpkkt240", 0x3af025d52ab20e5, 0xe380aa65cdfb0325, 0xde05f494d27aedc5},
+}
+
+func TestGoldenPermutationsBiCriteria(t *testing.T) {
+	bc := Options{Start: -1, Policy: BiCriteriaPolicy{}}
+	for _, g := range goldenBiCriteria {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			entry := graphgen.SuiteByName(g.name)
+			if entry == nil {
+				t.Fatalf("unknown suite matrix %q", g.name)
+			}
+			a := entry.Build(goldenScale)
+			results := map[string]uint64{
+				"sequential":       hashPerm(SequentialOpt(a, bc).Perm),
+				"algebraic":        hashPerm(AlgebraicOpt(a, bc).Perm),
+				"shared":           hashPerm(SharedOpt(a, 4, bc).Perm),
+				"distributed":      hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Options: bc}).Perm),
+				"distributed/p1":   hashPerm(Distributed(a, DistOptions{Procs: 1, Options: bc}).Perm),
+				"distributed/p9":   hashPerm(Distributed(a, DistOptions{Procs: 9, Options: bc}).Perm),
+				"distributed/dcsc": hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, Hypersparse: true, Options: bc}).Perm),
+			}
+			for variant, h := range results {
+				if h != g.full {
+					t.Errorf("%s: permutation hash %#x, golden %#x", variant, h, g.full)
+				}
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortLocal, Options: bc}).Perm); h != g.local {
+				t.Errorf("distributed/SortLocal: hash %#x, golden %#x", h, g.local)
+			}
+			if h := hashPerm(Distributed(a, DistOptions{Procs: goldenProcs, SortMode: SortNone, Options: bc}).Perm); h != g.nonesort {
+				t.Errorf("distributed/SortNone: hash %#x, golden %#x", h, g.nonesort)
+			}
+		})
+	}
+}
+
 func TestGoldenPermutationsDirections(t *testing.T) {
 	bu := Options{Start: -1, Direction: DirBottomUp}
 	// Aggressive Auto thresholds, so the hybrid actually flips to

@@ -112,8 +112,8 @@ func TestPeripheralEndpointsHaveHighEccentricity(t *testing.T) {
 		if comp[r] != comp[start] {
 			return false // must stay in the component
 		}
-		eccStart, _ := bfsLevels(a, start, scratch)
-		eccR, _ := bfsLevels(a, r, scratch)
+		eccStart, _, _ := bfsLevels(a, start, scratch)
+		eccR, _, _ := bfsLevels(a, r, scratch)
 		return eccR >= eccStart
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {

@@ -63,7 +63,7 @@ func SharedOpt(a *spmat.CSR, threads int, opt Options) *Ordering {
 		root := start
 		if !opt.SkipPeripheral {
 			var ecc int
-			root, ecc = w.peripheral(labels, start)
+			root, ecc = opt.policy().PickRoot(start, &sharedSweeper{w: w, labels: labels})
 			if ecc > res.PseudoDiameter {
 				res.PseudoDiameter = ecc
 			}
@@ -82,7 +82,8 @@ type sharedWork struct {
 	opt      Options
 	levels   []int
 	sortWS   psort.Scratch[candidate]
-	fpos     []int // position of each vertex in the current frontier, -1 outside
+	fpos     []int  // position of each vertex in the current frontier, -1 outside
+	periVis  []bool // per-sweep visited scratch of the start-vertex search
 	totalDeg int64
 	mu       int64 // edges incident to unlabeled vertices
 }
@@ -228,53 +229,61 @@ func (w *sharedWork) candEdges(cands []candidate) int64 {
 	return mf
 }
 
-// peripheral runs the pseudo-peripheral search with parallel BFS; levels may
-// run bottom-up with early exit, which is legal here because the search is
-// label-free (levels are direction-independent). Each sweep's visited mask
-// is seeded from the already-ordered components so bottom-up levels never
-// rescan them (output-neutral: cross-component adjacency is empty).
-func (w *sharedWork) peripheral(labels []int64, start int) (int, int) {
-	root := start
-	prevEcc := 0
-	visited := make([]bool, w.a.N)
-	for {
-		for i := range visited {
-			visited[i] = labels[i] >= 0
-		}
-		visited[root] = true
-		pol := newDirPolicy(w.opt, w.a.N)
-		mu := w.mu - int64(w.deg[root])
-		curCnt, curMf := int64(1), int64(w.deg[root])
-		frontier := []int{root}
-		last := frontier
-		ecc := 0
-		for {
-			cands := w.level(&pol, frontier, visited, curCnt, curMf, mu, true)
-			if len(cands) == 0 {
-				break
-			}
-			next := make([]int, len(cands))
-			for k, c := range cands {
-				next[k] = c.child
-				visited[c.child] = true
-			}
-			curCnt, curMf = int64(len(cands)), w.candEdges(cands)
-			mu -= curMf
-			frontier, last = next, next
-			ecc++
-		}
-		cand := last[0]
-		for _, v := range last[1:] {
-			if w.deg[v] < w.deg[cand] || (w.deg[v] == w.deg[cand] && v < cand) {
-				cand = v
-			}
-		}
-		if ecc <= prevEcc {
-			return cand, prevEcc
-		}
-		prevEcc = ecc
-		root = cand
+// sharedSweeper is the Shared engine's rooted-BFS oracle for the
+// start-vertex policies: one Sweep is one parallel label-free BFS. Levels
+// may run bottom-up with early exit, which is legal here because the search
+// is label-free (levels are direction-independent). Each sweep's visited
+// mask is seeded from the already-ordered components so bottom-up levels
+// never rescan them (output-neutral: cross-component adjacency is empty).
+type sharedSweeper struct {
+	w      *sharedWork
+	labels []int64
+}
+
+// Sweep runs one parallel BFS from root and summarizes its level structure.
+func (sw *sharedSweeper) Sweep(root, maxCand int) LevelStructure {
+	w := sw.w
+	if w.periVis == nil {
+		w.periVis = make([]bool, w.a.N)
 	}
+	visited := w.periVis
+	for i := range visited {
+		visited[i] = sw.labels[i] >= 0
+	}
+	visited[root] = true
+	pol := newDirPolicy(w.opt, w.a.N)
+	mu := w.mu - int64(w.deg[root])
+	curCnt, curMf := int64(1), int64(w.deg[root])
+	frontier := []int{root}
+	last := frontier
+	ecc := 0
+	width := int64(1)
+	for {
+		cands := w.level(&pol, frontier, visited, curCnt, curMf, mu, true)
+		if len(cands) == 0 {
+			break
+		}
+		next := make([]int, len(cands))
+		for k, c := range cands {
+			next[k] = c.child
+			visited[c.child] = true
+		}
+		if int64(len(cands)) > width {
+			width = int64(len(cands))
+		}
+		curCnt, curMf = int64(len(cands)), w.candEdges(cands)
+		mu -= curMf
+		frontier, last = next, next
+		ecc++
+	}
+	ls := LevelStructure{Root: root, Height: ecc, Width: width}
+	if maxCand > 1 {
+		ls.RootDeg = int64(w.deg[root])
+	}
+	for _, v := range last {
+		ls.Candidates = pushCandidate(ls.Candidates, Candidate{ID: v, Deg: int64(w.deg[v])}, maxCand)
+	}
+	return ls
 }
 
 // order runs the labeling BFS: per level, parallel expansion in the chosen

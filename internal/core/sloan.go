@@ -59,7 +59,7 @@ func SloanWeights(a *spmat.CSR, w1, w2 int64) *Ordering {
 		if ecc > res.PseudoDiameter {
 			res.PseudoDiameter = ecc
 		}
-		_, last := bfsLevels(a, s, scratch)
+		_, _, last := bfsLevels(a, s, scratch)
 		e := last[0]
 		for _, v := range last[1:] {
 			if deg[v] < deg[e] || (deg[v] == deg[e] && v < e) {
@@ -68,7 +68,7 @@ func SloanWeights(a *spmat.CSR, w1, w2 int64) *Ordering {
 		}
 		// Distances to the end vertex (within this component).
 		distE := make([]int64, n)
-		eEcc, _ := bfsLevels(a, e, scratch)
+		eEcc, _, _ := bfsLevels(a, e, scratch)
 		_ = eEcc
 		for v := 0; v < n; v++ {
 			if scratch.levels[v] >= 0 {

@@ -268,6 +268,50 @@ func (x *SpV) ArgMinBy(y *Vec) int {
 	return out.ind
 }
 
+// KeyedInd is a (key, index) pair of the k-smallest reduction.
+type KeyedInd struct {
+	Key int64
+	Ind int
+}
+
+// keyedIndLess is the ascending (key, index) order of the reduction.
+func keyedIndLess(a, b KeyedInd) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Ind < b.Ind
+}
+
+// pushKeyedInd inserts c into the ascending (key, index) shortlist, keeping
+// at most max entries.
+func pushKeyedInd(list []KeyedInd, c KeyedInd, max int) []KeyedInd {
+	return psort.InsertCapped(list, c, max, keyedIndLess)
+}
+
+// ArgMinKBy returns the k smallest (y value, index) pairs over the global
+// support of x, in ascending (key, index) order — the K-way generalization
+// of ArgMinBy that the bi-criteria start policy shortlists last-level
+// candidates with. Each rank selects its local k best, the lists are
+// allgathered, and every rank merges them identically, so the result is
+// byte-identical across ranks. Returns fewer than k pairs when x has fewer
+// global nonzeros. Collective.
+func (x *SpV) ArgMinKBy(y *Vec, k int) []KeyedInd {
+	if k < 1 {
+		k = 1
+	}
+	local := make([]KeyedInd, 0, k)
+	for _, i := range x.Loc.Ind {
+		local = pushKeyedInd(local, KeyedInd{Key: y.At(i), Ind: i}, k)
+	}
+	all := comm.AllGathervConcat(x.D.G.World, local)
+	out := make([]KeyedInd, 0, k)
+	for _, c := range all {
+		out = pushKeyedInd(out, c, k)
+	}
+	x.D.G.World.Stats().AddWork(int64(x.Loc.Len()) + int64(len(all)))
+	return out
+}
+
 // SpMSpV multiplies the distributed matrix by the distributed sparse vector
 // over the semiring sr, returning a distributed sparse vector. This is the
 // 2D CombBLAS algorithm the paper builds on (§IV-B):

@@ -215,14 +215,17 @@ func WritePerm(path string, perm []int) error {
 	return f.Close()
 }
 
-// ReadPerm reads a permutation written by WritePerm.
+// ReadPerm reads a permutation written by WritePerm and validates that the
+// file is a true permutation of 1..n (n = number of entries): out-of-range
+// ids and duplicates are rejected with the offending line, not passed on to
+// corrupt a downstream Permute. An empty file is the empty permutation.
 func ReadPerm(path string) ([]int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var perm []int
+	perm := []int{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -235,5 +238,11 @@ func ReadPerm(path string) ([]int, error) {
 		}
 		perm = append(perm, v-1)
 	}
-	return perm, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := spmat.ValidatePerm(perm, len(perm)); err != nil {
+		return nil, fmt.Errorf("mmio: %s is not a permutation of 1..%d: %v (ids are 1-based)", path, len(perm), err)
+	}
+	return perm, nil
 }

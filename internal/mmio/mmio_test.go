@@ -2,6 +2,7 @@ package mmio
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -184,4 +185,82 @@ func TestPermFileRoundtrip(t *testing.T) {
 	if !reflect.DeepEqual(got, perm) {
 		t.Errorf("perm roundtrip = %v", got)
 	}
+}
+
+func TestPermFileRoundtripEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.perm")
+	if err := WritePerm(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty roundtrip = %v, want empty", got)
+	}
+}
+
+func TestReadPermRejectsNonPermutations(t *testing.T) {
+	cases := map[string]string{
+		"duplicate":     "1\n1\n",
+		"zero id":       "0\n1\n",
+		"negative id":   "-3\n1\n",
+		"out of range":  "1\n4\n",
+		"not a number":  "1\nx\n",
+		"hole and dupe": "1\n2\n2\n",
+	}
+	dir := t.TempDir()
+	for name, content := range cases {
+		path := filepath.Join(dir, "bad.perm")
+		if err := writeRaw(t, path, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadPerm(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestGoldenSelfLoopExpansion pins the symmetric self-loop expansion against
+// a checked-in fixture: strictly-lower entries are mirrored exactly once,
+// the diagonal is never duplicated, and a symmetric re-write reproduces the
+// stored triangle byte for byte.
+func TestGoldenSelfLoopExpansion(t *testing.T) {
+	a, h, err := ReadFile(filepath.Join("testdata", "selfloop_symmetric.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Symmetric || h.Entries != 6 {
+		t.Fatalf("header = %+v", h)
+	}
+	wantPtr := []int{0, 3, 5, 7, 10}
+	wantCol := []int{0, 1, 3, 0, 2, 1, 3, 0, 2, 3}
+	wantVal := []float64{2, -1, 0.5, -1, -1.5, -1.5, -2, 0.5, -2, 3}
+	if !reflect.DeepEqual(a.RowPtr, wantPtr) || !reflect.DeepEqual(a.Col, wantCol) || !reflect.DeepEqual(a.Val, wantVal) {
+		t.Errorf("expansion drifted:\nptr %v want %v\ncol %v want %v\nval %v want %v",
+			a.RowPtr, wantPtr, a.Col, wantCol, a.Val, wantVal)
+	}
+	// Degrees exclude self-loops; a doubled diagonal would not change them,
+	// but a doubled mirror would.
+	if deg := a.Degrees(); !reflect.DeepEqual(deg, []int{2, 2, 2, 2}) {
+		t.Errorf("degrees = %v", deg)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) || !reflect.DeepEqual(a.Val, b.Val) {
+		t.Errorf("symmetric re-write drifted: %v/%v vs %v/%v", a.Col, a.Val, b.Col, b.Val)
+	}
+}
+
+func writeRaw(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
 }

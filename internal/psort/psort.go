@@ -384,3 +384,26 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// InsertCapped inserts c into the ascending (by less) shortlist list,
+// keeping at most max entries: the bounded top-K selection of the
+// start-vertex candidate shortlists. list must already be shortlist-ordered;
+// the returned slice reuses its storage. O(max) per insert — the shortlists
+// are small by construction.
+func InsertCapped[T any](list []T, c T, max int, less func(a, b T) bool) []T {
+	if len(list) == max {
+		if !less(c, list[max-1]) {
+			return list
+		}
+		list = list[:max-1]
+	}
+	pos := len(list)
+	for pos > 0 && less(c, list[pos-1]) {
+		pos--
+	}
+	var zero T
+	list = append(list, zero)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}

@@ -324,3 +324,24 @@ func BenchmarkKeyed(b *testing.B) {
 		})
 	}
 }
+
+func TestInsertCapped(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	var list []int
+	for _, v := range []int{5, 2, 9, 2, 7, 1} {
+		list = InsertCapped(list, v, 3, less)
+	}
+	want := []int{1, 2, 2}
+	if len(list) != 3 || list[0] != want[0] || list[1] != want[1] || list[2] != want[2] {
+		t.Fatalf("shortlist = %v, want %v", list, want)
+	}
+	// Worse-than-worst insert on a full list is a no-op.
+	if got := InsertCapped(list, 99, 3, less); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("no-op insert changed list: %v", got)
+	}
+	// Under-capacity lists grow in order.
+	short := InsertCapped(InsertCapped(nil, 4, 8, less), 3, 8, less)
+	if len(short) != 2 || short[0] != 3 || short[1] != 4 {
+		t.Fatalf("growing shortlist = %v", short)
+	}
+}

@@ -251,10 +251,14 @@ func (a *CSR) Profile() int64 {
 
 // Permute returns PAPᵀ for the permutation perm, where perm[k] is the old
 // index of the row/column placed at position k (the symrcm convention: A is
-// reordered so that old row perm[0] comes first).
+// reordered so that old row perm[0] comes first). A malformed perm panics
+// with the ValidatePerm diagnosis: applying it would silently corrupt the
+// matrix (duplicates) or index out of range mid-kernel, and internal callers
+// are supposed to have validated already — the public facade returns the
+// same diagnosis as an error instead.
 func (a *CSR) Permute(perm []int) *CSR {
-	if len(perm) != a.N {
-		panic(fmt.Sprintf("spmat: permutation length %d for %d×%d matrix", len(perm), a.N, a.N))
+	if err := ValidatePerm(perm, a.N); err != nil {
+		panic("spmat: " + err.Error())
 	}
 	inv := make([]int, a.N)
 	for k, old := range perm {
@@ -337,14 +341,32 @@ func (a *CSR) Components() (comp []int, ncomp int) {
 
 // IsPerm reports whether p is a permutation of 0..n-1.
 func IsPerm(p []int) bool {
-	seen := make([]bool, len(p))
-	for _, v := range p {
-		if v < 0 || v >= len(p) || seen[v] {
-			return false
-		}
-		seen[v] = true
+	return ValidatePerm(p, len(p)) == nil
+}
+
+// ValidatePerm explains why p is not a permutation of 0..n-1 — length
+// mismatch, out-of-range entry, or duplicate, naming the first offending
+// position — or returns nil when it is one. It is the shared diagnosis
+// behind every permutation-accepting entry point (Permute, the rcm facade,
+// mmio.ReadPerm).
+func ValidatePerm(p []int, n int) error {
+	if len(p) != n {
+		return fmt.Errorf("permutation has length %d, want %d", len(p), n)
 	}
-	return true
+	seen := make([]int, n)
+	for k := range seen {
+		seen[k] = -1
+	}
+	for k, v := range p {
+		if v < 0 || v >= n {
+			return fmt.Errorf("permutation entry %d at position %d outside 0..%d", v, k, n-1)
+		}
+		if prev := seen[v]; prev >= 0 {
+			return fmt.Errorf("permutation repeats entry %d at positions %d and %d", v, prev, k)
+		}
+		seen[v] = k
+	}
+	return nil
 }
 
 // InvertPerm returns the inverse permutation: out[p[k]] = k.

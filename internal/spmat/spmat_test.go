@@ -3,6 +3,7 @@ package spmat
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -171,6 +172,47 @@ func TestPermuteWrongLengthPanics(t *testing.T) {
 		}
 	}()
 	tri(3, [2]int{0, 0}).Permute([]int{0, 1})
+}
+
+func TestPermuteCorruptPermPanics(t *testing.T) {
+	// A duplicate entry would silently produce a corrupt matrix (two old
+	// rows collapsing onto one new index); Permute must refuse loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tri(3, [2]int{0, 1}).Permute([]int{0, 1, 1})
+}
+
+func TestValidatePerm(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []int
+		n    int
+		want string // "" = valid; else substring of the error
+	}{
+		{"identity", []int{0, 1, 2}, 3, ""},
+		{"reversal", []int{2, 1, 0}, 3, ""},
+		{"empty", nil, 0, ""},
+		{"short", []int{0, 1}, 3, "length 2"},
+		{"long", []int{0, 1, 2}, 2, "length 3"},
+		{"negative", []int{0, -1, 2}, 3, "position 1"},
+		{"too large", []int{0, 3, 2}, 3, "entry 3 at position 1"},
+		{"duplicate", []int{0, 2, 2}, 3, "repeats entry 2 at positions 1 and 2"},
+	}
+	for _, tc := range cases {
+		err := ValidatePerm(tc.p, tc.n)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
 }
 
 func randSym(rng *rand.Rand, n, m int) *CSR {

@@ -204,6 +204,13 @@ type Stats struct {
 	// the direction switch is computed from AllReduced exact counts, so the
 	// counts are identical on every rank of a run.
 	TopDownLevels, BottomUpLevels int64
+
+	// PeripheralSweeps counts the rooted BFS sweeps the start-vertex
+	// search ran (over all components); CandidateSweeps counts how many of
+	// those were evaluated under a multi-candidate shortlist — the
+	// bi-criteria evaluations, zero under the classic pseudo-peripheral
+	// search. Identical on every rank of a run.
+	PeripheralSweeps, CandidateSweeps int64
 }
 
 // NewStats returns a Stats bound to the given model, starting in the Setup
@@ -242,6 +249,16 @@ func (s *Stats) AddLevel(bottomUp bool) {
 		s.BottomUpLevels++
 	} else {
 		s.TopDownLevels++
+	}
+}
+
+// AddSweep records one rooted BFS sweep of the start-vertex search;
+// candidates reports whether the sweep was evaluated under a
+// multi-candidate shortlist (the bi-criteria finder).
+func (s *Stats) AddSweep(candidates bool) {
+	s.PeripheralSweeps++
+	if candidates {
+		s.CandidateSweeps++
 	}
 }
 
@@ -302,6 +319,10 @@ type Breakdown struct {
 	// direction (the switch is decided from AllReduced counts), so the
 	// aggregate is the maximum over ranks, not a sum.
 	TopDownLevels, BottomUpLevels int64
+	// PeripheralSweeps and CandidateSweeps are the start-vertex search's
+	// sweep counts (see Stats); like the level counts they are identical
+	// per rank, so the aggregate is the maximum, not a sum.
+	PeripheralSweeps, CandidateSweeps int64
 }
 
 // Collect aggregates per-rank stats.
@@ -327,6 +348,12 @@ func Collect(stats []*Stats) Breakdown {
 		}
 		if s.BottomUpLevels > b.BottomUpLevels {
 			b.BottomUpLevels = s.BottomUpLevels
+		}
+		if s.PeripheralSweeps > b.PeripheralSweeps {
+			b.PeripheralSweeps = s.PeripheralSweeps
+		}
+		if s.CandidateSweeps > b.CandidateSweeps {
+			b.CandidateSweeps = s.CandidateSweeps
 		}
 	}
 	inv := 1 / float64(b.Ranks)

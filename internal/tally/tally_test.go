@@ -159,6 +159,25 @@ func TestCollect(t *testing.T) {
 	}
 }
 
+func TestSweepCounters(t *testing.T) {
+	m := Edison()
+	a, b := NewStats(m), NewStats(m)
+	// Every rank of a run records the same sweeps; Collect takes the max,
+	// not the sum.
+	for _, s := range []*Stats{a, b} {
+		s.AddSweep(false)
+		s.AddSweep(true)
+		s.AddSweep(true)
+	}
+	if a.PeripheralSweeps != 3 || a.CandidateSweeps != 2 {
+		t.Errorf("per-rank counters = %d/%d", a.PeripheralSweeps, a.CandidateSweeps)
+	}
+	br := Collect([]*Stats{a, b})
+	if br.PeripheralSweeps != 3 || br.CandidateSweeps != 2 {
+		t.Errorf("aggregated counters = %d/%d, want max not sum", br.PeripheralSweeps, br.CandidateSweeps)
+	}
+}
+
 func TestBreakdownSpMSpVSplit(t *testing.T) {
 	s := NewStats(Edison())
 	s.SetPhase(PeripheralSpMSpV)

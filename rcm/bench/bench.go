@@ -37,6 +37,10 @@ type Config struct {
 	// runs (rcm.Auto by default), so every scaling experiment is sweepable
 	// across directions like it is across sort modes.
 	Direction rcm.Direction
+	// Heuristic selects the start-vertex heuristic of every run
+	// (rcm.PseudoPeripheral by default), so the scaling experiments are
+	// sweepable across heuristics too.
+	Heuristic rcm.StartHeuristic
 	// Out receives the rendered tables (nil = os.Stdout).
 	Out io.Writer
 }
@@ -61,6 +65,7 @@ func (c Config) internal() ibench.Config {
 		Matrices:  c.Matrices,
 		Model:     model,
 		Direction: core.Direction(c.Direction),
+		Heuristic: c.Heuristic.String(),
 		Out:       out,
 	}
 }
@@ -138,6 +143,13 @@ func RunAblationSort(cfg Config, procs int) { ibench.RunAblationSort(cfg.interna
 // Auto's per-direction level counts — and verifying the permutations stay
 // byte-identical across directions.
 func RunAblationDirection(cfg Config, procs int) { ibench.RunAblationDirection(cfg.internal(), procs) }
+
+// RunAblationHeuristic compares the start-vertex heuristics (the paper's
+// pseudo-peripheral search, the RCM++ bi-criteria finder, min-degree,
+// first-vertex) on ordering quality over the generator suite, reporting
+// bandwidth/profile deltas, the searches' BFS sweep counts at the given
+// process count, and the cross-engine identity check.
+func RunAblationHeuristic(cfg Config, procs int) { ibench.RunAblationHeuristic(cfg.internal(), procs) }
 
 // RunAblationSemiring compares deterministic vs randomized tie-breaking in
 // the (select2nd, min) semiring over the given number of seeds.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/rcm"
 )
 
 // TestFig1Smoke runs the smallest Fig. 1 regeneration through the public
@@ -41,6 +43,20 @@ func TestScalingSmoke(t *testing.T) {
 	}
 	if !strings.Contains(csv.String(), "ldoor") {
 		t.Error("CSV missing the matrix name")
+	}
+}
+
+// TestAblationHeuristicSmoke runs the start-heuristic ablation through the
+// public wrapper, and checks the Heuristic config knob reaches the internal
+// harness (the rendered table names the heuristic columns).
+func TestAblationHeuristicSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{Scale: 10, Matrices: []string{"ldoor"}, Heuristic: rcm.BiCriteria, Out: &out}
+	RunAblationHeuristic(cfg, 4)
+	for _, col := range []string{"bw-pp", "bw-bc", "bw-md", "bw-fv", "ldoor"} {
+		if !strings.Contains(out.String(), col) {
+			t.Errorf("table missing %q:\n%s", col, out.String())
+		}
 	}
 }
 

@@ -32,20 +32,28 @@ type Breakdown struct {
 	// are 8-byte).
 	Messages, Words int64
 	// TopDownLevels and BottomUpLevels count the BFS levels the run
-	// expanded in each traversal direction (pseudo-peripheral search and
+	// expanded in each traversal direction (start-vertex search and
 	// ordering combined); see WithDirection. Every rank runs the same
 	// levels, so these are per-run counts, not per-rank sums.
 	TopDownLevels, BottomUpLevels int64
+	// PeripheralSweeps counts the rooted BFS sweeps of the start-vertex
+	// search across all components; CandidateSweeps counts how many of
+	// them ran under a multi-candidate shortlist, i.e. were issued by the
+	// bi-criteria finder (zero under the default pseudo-peripheral
+	// search). Per-run counts, identical on every rank.
+	PeripheralSweeps, CandidateSweeps int64
 }
 
 // newBreakdown converts the internal tally into the public form.
 func newBreakdown(b tally.Breakdown) *Breakdown {
 	out := &Breakdown{
-		Seconds:        tally.Seconds(b.TotalNs()),
-		Messages:       b.Msgs,
-		Words:          b.Words,
-		TopDownLevels:  b.TopDownLevels,
-		BottomUpLevels: b.BottomUpLevels,
+		Seconds:          tally.Seconds(b.TotalNs()),
+		Messages:         b.Msgs,
+		Words:            b.Words,
+		TopDownLevels:    b.TopDownLevels,
+		BottomUpLevels:   b.BottomUpLevels,
+		PeripheralSweeps: b.PeripheralSweeps,
+		CandidateSweeps:  b.CandidateSweeps,
 	}
 	for p := tally.Phase(0); p < tally.NumPhases; p++ {
 		out.Phases = append(out.Phases, PhaseTime{

@@ -13,21 +13,27 @@
 // configured with functional options:
 //
 //	rcm.Order(a,
-//	    rcm.WithBackend(rcm.Distributed),     // Sequential | Algebraic | Shared | Distributed
-//	    rcm.WithProcs(16),                    // simulated MPI processes (perfect square)
-//	    rcm.WithThreads(6),                   // threads per process / shared-memory threads
-//	    rcm.WithSortMode(rcm.SortLocal),      // frontier labeling strategy (§VI)
-//	    rcm.WithDirection(rcm.Auto),          // traversal direction: Auto | TopDown | BottomUp
-//	    rcm.WithStartHeuristic(rcm.MinDegree))
+//	    rcm.WithBackend(rcm.Distributed),      // Sequential | Algebraic | Shared | Distributed
+//	    rcm.WithProcs(16),                     // simulated MPI processes (perfect square)
+//	    rcm.WithThreads(6),                    // threads per process / shared-memory threads
+//	    rcm.WithSortMode(rcm.SortLocal),       // frontier labeling strategy (§VI)
+//	    rcm.WithDirection(rcm.Auto),           // traversal direction: Auto | TopDown | BottomUp
+//	    rcm.WithStartHeuristic(rcm.BiCriteria) // starting-vertex policy (RCM++, MinDegree, ...)
+//	)
 //
 // All four backends obey one deterministic contract (ties by vertex id,
 // minimum-label parent attachment, components by smallest vertex id), so
-// they produce the identical permutation; the Result carries the
-// permutation in symrcm convention (Perm[k] = old index of the row placed
-// at position k) together with bandwidth, envelope and wavefront statistics
-// before and after, the pseudo-diameter, the component count, and — for the
-// Distributed backend — the modelled BSP time breakdown behind the paper's
-// Figs. 4–6.
+// they produce the identical permutation under every start heuristic; the
+// Result carries the permutation in symrcm convention (Perm[k] = old index
+// of the row placed at position k) together with bandwidth, envelope and
+// wavefront statistics before and after, the pseudo-diameter, the component
+// count, and — for the Distributed backend — the modelled BSP time
+// breakdown behind the paper's Figs. 4–6.
+//
+// Malformed configurations and inputs (non-square process grids, zero
+// worker counts, empty matrices, corrupt permutations) are rejected with
+// descriptive errors by a validation layer; no entry point of this package
+// panics on bad input.
 //
 // The package also re-exports everything an application needs so that no
 // caller ever imports repro/internal/...: Matrix Market I/O (LoadMatrixMarket,

@@ -84,12 +84,12 @@ func (m *Matrix) Degrees() []int { return m.csr.Degrees() }
 
 // Permute returns PAPᵀ for the permutation perm in symrcm convention:
 // row/column perm[k] of the receiver becomes row/column k of the result.
+// Malformed permutations — wrong length, duplicate or out-of-range
+// entries — are rejected with a diagnosis naming the first offending
+// position, before any kernel touches them.
 func (m *Matrix) Permute(perm []int) (*Matrix, error) {
-	if len(perm) != m.csr.N {
-		return nil, fmt.Errorf("rcm: permutation length %d for n=%d", len(perm), m.csr.N)
-	}
-	if !spmat.IsPerm(perm) {
-		return nil, fmt.Errorf("rcm: not a permutation of 0..%d", m.csr.N-1)
+	if err := spmat.ValidatePerm(perm, m.csr.N); err != nil {
+		return nil, fmt.Errorf("rcm: %v", err)
 	}
 	return wrap(m.csr.Permute(perm)), nil
 }

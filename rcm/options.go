@@ -147,10 +147,18 @@ type StartHeuristic int
 const (
 	// PseudoPeripheral runs the paper's Algorithm 2/4: repeated BFS
 	// sweeps that approximate a vertex of maximal eccentricity. The
-	// default, and the only heuristic that reports a pseudo-diameter.
+	// default.
 	PseudoPeripheral StartHeuristic = iota
+	// BiCriteria runs the RCM++ bi-criteria node finder (Hou & Liu,
+	// arXiv:2409.04171): candidates from the last BFS level are scored by
+	// the trade-off WidthWeight·width − HeightWeight·height of their
+	// rooted level structures, and the minimum-score root wins (ties by
+	// degree, then vertex id). Narrow-and-tall beats merely tall, which
+	// typically lowers the bandwidth at the cost of a few extra BFS
+	// sweeps; configure the trade-off with WithBiCriteriaWeights.
+	BiCriteria
 	// MinDegree starts directly from the minimum-(degree, id) vertex,
-	// skipping the pseudo-peripheral search — cheaper, often nearly as
+	// skipping the start-vertex search — cheaper, often nearly as
 	// good on mesh-like graphs (the classic Cuthill-McKee prescription).
 	MinDegree
 	// FirstVertex starts directly from the smallest unvisited vertex id,
@@ -158,17 +166,36 @@ const (
 	FirstVertex
 )
 
-// String names the heuristic.
+// String names the heuristic as accepted by ParseHeuristic.
 func (h StartHeuristic) String() string {
 	switch h {
 	case PseudoPeripheral:
 		return "pseudo-peripheral"
+	case BiCriteria:
+		return "bi-criteria"
 	case MinDegree:
 		return "min-degree"
 	case FirstVertex:
 		return "first-vertex"
 	}
 	return fmt.Sprintf("StartHeuristic(%d)", int(h))
+}
+
+// ParseHeuristic maps a command-line name to a StartHeuristic. It accepts
+// the canonical names pseudo-peripheral|bi-criteria|min-degree|first-vertex
+// and the short forms peripheral|pp|bicriteria|bc|mindeg|first.
+func ParseHeuristic(s string) (StartHeuristic, error) {
+	switch s {
+	case "pseudo-peripheral", "peripheral", "pp":
+		return PseudoPeripheral, nil
+	case "bi-criteria", "bicriteria", "bc":
+		return BiCriteria, nil
+	case "min-degree", "mindeg":
+		return MinDegree, nil
+	case "first-vertex", "first":
+		return FirstVertex, nil
+	}
+	return 0, fmt.Errorf("rcm: unknown start heuristic %q (want pseudo-peripheral|bi-criteria|min-degree|first-vertex)", s)
 }
 
 // config is the resolved option set of one Order call.
@@ -179,6 +206,9 @@ type config struct {
 	direction   Direction
 	dirAlpha    int // 0: default
 	dirBeta     int // 0: default
+	bcWidthW    int // bi-criteria width weight; 0 with bcSet unset: default
+	bcHeightW   int // bi-criteria height weight
+	bcSet       bool
 	start       int // -1: unset
 	threads     int
 	procs       int
@@ -208,8 +238,19 @@ func WithSortMode(m SortMode) Option { return func(c *config) { c.sortMode = m }
 
 // WithStartHeuristic selects the starting-vertex policy for the first
 // component (later components always start from their smallest unvisited
-// vertex id, per the deterministic contract).
+// vertex id, per the deterministic contract; PseudoPeripheral and
+// BiCriteria then refine every component's seed).
 func WithStartHeuristic(h StartHeuristic) Option { return func(c *config) { c.heuristic = h } }
+
+// WithBiCriteriaWeights sets the width and height coefficients of the
+// BiCriteria score WidthWeight·width − HeightWeight·height (lower is
+// better). Both must be non-negative and at least one positive; the
+// defaults are 1 and 1. Order rejects the option when the selected
+// heuristic is not BiCriteria — silently ignoring the weights would hide a
+// misconfiguration.
+func WithBiCriteriaWeights(widthWeight, heightWeight int) Option {
+	return func(c *config) { c.bcWidthW, c.bcHeightW, c.bcSet = widthWeight, heightWeight, true }
+}
 
 // WithDirection selects the traversal direction policy of the
 // level-synchronous backends (Auto, TopDown or BottomUp). The permutation

@@ -17,9 +17,9 @@ type Result struct {
 	// Backend is the implementation that ran.
 	Backend Backend
 	// PseudoDiameter is the largest eccentricity estimate found by the
-	// pseudo-peripheral search, maximized over components (Fig. 3
-	// reports this per matrix). Zero when the search was skipped by a
-	// non-default StartHeuristic.
+	// start-vertex search (PseudoPeripheral or BiCriteria), maximized
+	// over components (Fig. 3 reports this per matrix). Zero when the
+	// search was skipped (MinDegree, FirstVertex).
 	PseudoDiameter int
 	// Components is the number of connected components processed.
 	Components int
@@ -75,20 +75,6 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.start != -1 && (c.start < 0 || c.start >= a.csr.N) {
-		return nil, nil, fmt.Errorf("rcm: start vertex %d outside 0..%d", c.start, a.csr.N-1)
-	}
-	if c.threads < 1 {
-		return nil, nil, fmt.Errorf("rcm: threads must be >= 1, got %d", c.threads)
-	}
-	if c.dirAlpha < 0 || c.dirBeta < 0 {
-		return nil, nil, fmt.Errorf("rcm: direction thresholds must be >= 0, got alpha=%d beta=%d", c.dirAlpha, c.dirBeta)
-	}
-	switch c.direction {
-	case Auto, TopDown, BottomUp:
-	default:
-		return nil, nil, fmt.Errorf("rcm: unknown direction %v", c.direction)
-	}
 
 	// The graph the algorithms traverse: symmetric by construction.
 	g := a.csr
@@ -114,9 +100,6 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 		fill(res, core.SharedOpt(g, c.threads, copt))
 		res.Threads = c.threads
 	case Distributed:
-		if q := grid.Isqrt(c.procs); c.procs < 1 || q*q != c.procs {
-			return nil, nil, fmt.Errorf("rcm: distributed backend needs a square process count, got %d", c.procs)
-		}
 		d := core.Distributed(g, core.DistOptions{
 			Procs:          c.procs,
 			Model:          tally.Edison().WithThreads(c.threads),
@@ -144,11 +127,52 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 	return res, p, nil
 }
 
-// coreOptions translates the facade's starting-vertex policy into the
-// engine's Options. The MinDegree root is resolved by the engine's
-// MinDegreeVertex policy, next to the other start-vertex policies; the
-// facade never scans graph internals itself.
+// coreOptions is the facade's validation layer: it vets every resolved
+// option against the engines' preconditions — returning descriptive errors
+// for the malformed inputs that would otherwise panic deep inside a kernel
+// (non-square process grids, empty matrices, zero worker counts) — and
+// translates the starting-vertex policy into the engine's Options. The
+// MinDegree root is resolved by the engine's MinDegreeVertex policy, next to
+// the other start-vertex policies; the facade never scans graph internals
+// itself.
 func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
+	if g.N == 0 {
+		return core.Options{}, fmt.Errorf("rcm: empty matrix (n = 0 has no ordering)")
+	}
+	switch c.backend {
+	case Sequential, Algebraic, Shared, Distributed:
+	default:
+		return core.Options{}, fmt.Errorf("rcm: unknown backend %v", c.backend)
+	}
+	switch c.sortMode {
+	case SortFull, SortLocal, SortNone:
+	default:
+		return core.Options{}, fmt.Errorf("rcm: unknown sort mode %v", c.sortMode)
+	}
+	if c.start != -1 && (c.start < 0 || c.start >= g.N) {
+		return core.Options{}, fmt.Errorf("rcm: start vertex %d outside 0..%d", c.start, g.N-1)
+	}
+	if c.threads < 1 {
+		return core.Options{}, fmt.Errorf("rcm: threads must be >= 1, got %d", c.threads)
+	}
+	if c.procs < 1 {
+		return core.Options{}, fmt.Errorf("rcm: procs must be >= 1, got %d", c.procs)
+	}
+	if q := grid.Isqrt(c.procs); c.backend == Distributed && q*q != c.procs {
+		return core.Options{}, fmt.Errorf("rcm: distributed backend needs a square process count, got %d", c.procs)
+	}
+	if c.dirAlpha < 0 || c.dirBeta < 0 {
+		return core.Options{}, fmt.Errorf("rcm: direction thresholds must be >= 0, got alpha=%d beta=%d", c.dirAlpha, c.dirBeta)
+	}
+	switch c.direction {
+	case Auto, TopDown, BottomUp:
+	default:
+		return core.Options{}, fmt.Errorf("rcm: unknown direction %v", c.direction)
+	}
+	if c.bcSet && c.heuristic != BiCriteria {
+		return core.Options{}, fmt.Errorf("rcm: WithBiCriteriaWeights requires WithStartHeuristic(BiCriteria), got %v", c.heuristic)
+	}
+
 	opt := core.Options{
 		Start:     c.start,
 		NoReverse: c.noReverse,
@@ -159,6 +183,15 @@ func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
 	switch c.heuristic {
 	case PseudoPeripheral:
 		// The search refines whatever the start is.
+	case BiCriteria:
+		pol := core.BiCriteriaPolicy{WidthWeight: int64(c.bcWidthW), HeightWeight: int64(c.bcHeightW)}
+		if err := pol.Validate(); err != nil {
+			return core.Options{}, fmt.Errorf("rcm: bi-criteria weights must be >= 0, got width=%d height=%d", c.bcWidthW, c.bcHeightW)
+		}
+		if c.bcSet && c.bcWidthW == 0 && c.bcHeightW == 0 {
+			return core.Options{}, fmt.Errorf("rcm: bi-criteria weights must not both be zero")
+		}
+		opt.Policy = pol
 	case MinDegree:
 		opt.SkipPeripheral = true
 		if opt.Start < 0 {

@@ -1,0 +1,157 @@
+package rcm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOrderValidation drives every facade option through its malformed
+// values: Order must return a descriptive error — never panic — for each.
+func TestOrderValidation(t *testing.T) {
+	a := Path(9)
+	cases := []struct {
+		name string
+		opts []Option
+		want string // substring of the error
+	}{
+		{"unknown backend", []Option{WithBackend(Backend(42))}, "unknown backend"},
+		{"zero procs", []Option{WithBackend(Distributed), WithProcs(0)}, "procs"},
+		{"negative procs", []Option{WithBackend(Distributed), WithProcs(-4)}, "procs"},
+		{"non-square procs", []Option{WithBackend(Distributed), WithProcs(6)}, "square"},
+		{"non-square procs large", []Option{WithBackend(Distributed), WithProcs(8)}, "square"},
+		{"zero procs sequential", []Option{WithProcs(0)}, "procs"},
+		{"zero threads", []Option{WithThreads(0)}, "threads"},
+		{"negative threads", []Option{WithBackend(Shared), WithThreads(-1)}, "threads"},
+		{"unknown sort mode", []Option{WithSortMode(SortMode(7))}, "sort mode"},
+		{"unknown direction", []Option{WithDirection(Direction(9))}, "direction"},
+		{"negative alpha", []Option{WithDirectionThresholds(-1, 0)}, "thresholds"},
+		{"negative beta", []Option{WithDirectionThresholds(0, -2)}, "thresholds"},
+		{"unknown heuristic", []Option{WithStartHeuristic(StartHeuristic(11))}, "heuristic"},
+		{"start below range", []Option{WithStartVertex(-7)}, "start vertex"},
+		{"start above range", []Option{WithStartVertex(9)}, "start vertex"},
+		{"negative bi-criteria weight", []Option{WithStartHeuristic(BiCriteria), WithBiCriteriaWeights(-1, 1)}, "bi-criteria"},
+		{"zero bi-criteria weights", []Option{WithStartHeuristic(BiCriteria), WithBiCriteriaWeights(0, 0)}, "bi-criteria"},
+		{"weights without heuristic", []Option{WithBiCriteriaWeights(1, 1)}, "WithBiCriteriaWeights"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Order(a, tc.opts...)
+			if err == nil {
+				t.Fatalf("accepted: %+v", res)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if _, _, err := OrderMatrix(a, tc.opts...); err == nil {
+				t.Error("OrderMatrix accepted what Order rejected")
+			}
+		})
+	}
+}
+
+// TestOrderEmptyMatrix: an n == 0 matrix has no ordering; every backend must
+// say so instead of panicking somewhere inside a kernel.
+func TestOrderEmptyMatrix(t *testing.T) {
+	empty, err := FromEdges(0, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{Sequential, Algebraic, Shared, Distributed} {
+		if _, err := Order(empty, WithBackend(b)); err == nil || !strings.Contains(err.Error(), "empty") {
+			t.Errorf("%v: got %v, want empty-matrix error", b, err)
+		}
+	}
+	if _, err := Order(nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}
+
+// TestPermuteDescriptiveErrors: the validation layer names the first
+// offending entry, so a corrupt permutation file can be traced to its line.
+func TestPermuteDescriptiveErrors(t *testing.T) {
+	a := Path(4)
+	if _, err := Permute(a, []int{0, 1, 2}); err == nil || !strings.Contains(err.Error(), "length 3") {
+		t.Errorf("length mismatch error = %v", err)
+	}
+	if _, err := Permute(a, []int{0, 1, 7, 2}); err == nil || !strings.Contains(err.Error(), "position 2") {
+		t.Errorf("out-of-range error = %v", err)
+	}
+	if _, err := Permute(a, []int{0, 1, 1, 2}); err == nil || !strings.Contains(err.Error(), "repeats entry 1") {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestParseHeuristic(t *testing.T) {
+	cases := map[string]StartHeuristic{
+		"pseudo-peripheral": PseudoPeripheral,
+		"peripheral":        PseudoPeripheral,
+		"pp":                PseudoPeripheral,
+		"bi-criteria":       BiCriteria,
+		"bicriteria":        BiCriteria,
+		"bc":                BiCriteria,
+		"min-degree":        MinDegree,
+		"mindeg":            MinDegree,
+		"first-vertex":      FirstVertex,
+		"first":             FirstVertex,
+	}
+	for in, want := range cases {
+		got, err := ParseHeuristic(in)
+		if err != nil || got != want {
+			t.Errorf("ParseHeuristic(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseHeuristic("random"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	// The canonical names round-trip through String.
+	for _, h := range []StartHeuristic{PseudoPeripheral, BiCriteria, MinDegree, FirstVertex} {
+		if got, err := ParseHeuristic(h.String()); err != nil || got != h {
+			t.Errorf("ParseHeuristic(%v.String()) = %v, %v", h, got, err)
+		}
+	}
+}
+
+// TestBiCriteriaFacade: the bi-criteria heuristic runs through the facade on
+// every backend, reports a pseudo-diameter, and the distributed breakdown
+// counts its candidate sweeps.
+func TestBiCriteriaFacade(t *testing.T) {
+	a := scrambled(t)
+	ref, err := Order(a, WithStartHeuristic(BiCriteria))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPermutation(ref.Perm) {
+		t.Fatal("non-permutation")
+	}
+	if ref.PseudoDiameter == 0 {
+		t.Error("bi-criteria reported no pseudo-diameter")
+	}
+	for _, b := range []Backend{Algebraic, Shared, Distributed} {
+		res, err := Order(a, WithBackend(b), WithStartHeuristic(BiCriteria),
+			WithProcs(4), WithThreads(2), WithBiCriteriaWeights(1, 1))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		for i := range ref.Perm {
+			if res.Perm[i] != ref.Perm[i] {
+				t.Fatalf("%v: permutation differs from sequential at %d", b, i)
+			}
+		}
+		if b == Distributed {
+			if res.Modeled.PeripheralSweeps == 0 || res.Modeled.CandidateSweeps == 0 {
+				t.Errorf("sweep counters not reported: %+v", res.Modeled.PeripheralSweeps)
+			}
+		}
+	}
+	// The default search reports sweeps but no candidate evaluations.
+	def, err := Order(a, WithBackend(Distributed), WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Modeled.PeripheralSweeps == 0 {
+		t.Error("default search reported no sweeps")
+	}
+	if def.Modeled.CandidateSweeps != 0 {
+		t.Errorf("default search reported %d candidate sweeps", def.Modeled.CandidateSweeps)
+	}
+}
