@@ -1,0 +1,111 @@
+// Command rcmserve runs the ordering service over HTTP: a bounded worker
+// pool executing rcm.Order jobs behind a content-addressed result cache
+// with single-flight deduplication (package repro/rcm/service).
+//
+//	rcmserve [-addr :8077] [-workers 4] [-queue 16] [-cache-mb 256]
+//	         [-backend sequential] [-procs 0] [-threads 0]
+//	         [-heuristic pseudo-peripheral] [-direction auto] [-sort full]
+//
+// The -backend/-procs/-threads/-heuristic/-direction/-sort flags are
+// server-side defaults; every request may override them with query
+// parameters. See OPERATIONS.md for the API reference, curl examples and
+// sizing guidance.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/rcm/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "HTTP listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "queued-job bound before backpressure (0 = 4 × workers)")
+		cacheMB = flag.Int64("cache-mb", 256, "result cache byte budget in MiB (negative disables caching)")
+		maxUpMB = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB (decoded matrices are ~8-16x larger)")
+		backend = flag.String("backend", "", "default backend: sequential|algebraic|shared|distributed")
+		procs   = flag.Int("procs", 0, "default simulated process count for the distributed backend")
+		threads = flag.Int("threads", 0, "default thread count (shared backend / distributed model)")
+		heur    = flag.String("heuristic", "", "default starting-vertex heuristic")
+		dir     = flag.String("direction", "", "default traversal direction policy")
+		sortM   = flag.String("sort", "", "default distributed frontier sort mode")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     cacheBytes,
+		MaxUploadBytes: *maxUpMB << 20,
+		DefaultSpec: service.Spec{
+			Backend:   *backend,
+			Procs:     *procs,
+			Threads:   *threads,
+			Heuristic: *heur,
+			Direction: *dir,
+			Sort:      *sortM,
+		},
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: logRequests(service.NewHandler(svc))}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("rcmserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("rcmserve: shutdown: %v", err)
+		}
+		svc.Close()
+	}()
+
+	log.Printf("rcmserve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "rcmserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// logRequests is a one-line access log: method, path, status, cache
+// disposition and wall time.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		cache := rec.Header().Get("X-Cache")
+		if cache == "" {
+			cache = "-"
+		}
+		log.Printf("%s %s %d cache=%s %.3fs", r.Method, r.URL.Path, rec.status, cache, time.Since(start).Seconds())
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

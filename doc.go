@@ -5,11 +5,14 @@
 // The public API is the facade package repro/rcm: a one-call ordering
 // pipeline (Order, OrderMatrix, Permute) with functional options selecting
 // the backend (Sequential, Algebraic, Shared, Distributed), the sort mode,
-// the starting-vertex heuristic and the worker/process counts — plus the
-// Matrix Market I/O, the synthetic graph generators and the CG solvers an
-// application needs, so no caller ever imports repro/internal/... The
-// experiment harness that regenerates every table and figure is
-// repro/rcm/bench, driven by cmd/rcmbench.
+// the traversal direction, the starting-vertex heuristic and the
+// worker/process counts — plus the Matrix Market and binary I/O, the
+// synthetic graph generators and the CG solvers an application needs, so no
+// caller ever imports repro/internal/... The ordering service repro/rcm/service
+// (HTTP front end cmd/rcmserve) serves Order behind a content-hash result
+// cache with single-flight deduplication; the experiment harness that
+// regenerates every table and figure is repro/rcm/bench, driven by
+// cmd/rcmbench.
 //
 // The engine lives under internal/: package core holds the four RCM
 // implementations (sequential, matrix-algebraic, shared-memory parallel,

@@ -80,11 +80,18 @@ func Read(r io.Reader) (*spmat.CSR, *Header, error) {
 		}
 		break
 	}
+	if h.Rows < 0 || h.Cols < 0 || h.Entries < 0 {
+		return nil, nil, fmt.Errorf("mmio: negative size line %d %d %d", h.Rows, h.Cols, h.Entries)
+	}
 	if h.Rows != h.Cols {
 		return nil, nil, fmt.Errorf("mmio: rectangular matrix %d×%d not supported", h.Rows, h.Cols)
 	}
 	pattern := h.Field == "pattern"
-	entries := make([]spmat.Coord, 0, h.Entries*2)
+	// The capacity hint is bounded because the entry count is untrusted
+	// (the ordering service feeds uploads through this reader): the slice
+	// grows only as entry lines actually arrive, so a tiny stream
+	// declaring absurd counts cannot force a giant allocation.
+	entries := make([]spmat.Coord, 0, boundedCap(h.Entries))
 	read := 0
 	for sc.Scan() && read < h.Entries {
 		line := strings.TrimSpace(sc.Text())
@@ -123,7 +130,7 @@ func Read(r io.Reader) (*spmat.CSR, *Header, error) {
 		read++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("mmio: %v", err)
+		return nil, nil, fmt.Errorf("mmio: %w", err)
 	}
 	if read != h.Entries {
 		return nil, nil, fmt.Errorf("mmio: expected %d entries, found %d", h.Entries, read)

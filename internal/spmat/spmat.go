@@ -260,22 +260,46 @@ func (a *CSR) Permute(perm []int) *CSR {
 	if err := ValidatePerm(perm, a.N); err != nil {
 		panic("spmat: " + err.Error())
 	}
-	inv := make([]int, a.N)
+	// Direct CSR-to-CSR: row k of the result is old row perm[k] with its
+	// columns relabeled through the inverse permutation, then re-sorted in
+	// place. A permutation cannot create duplicates, so no merge pass is
+	// needed — this allocates exactly the output arrays, where the old
+	// coordinate-list construction built a 32-byte-per-entry transient and
+	// re-deduplicated (the facade computes PAPᵀ on every Order call, so
+	// the service path repays this on every request).
+	n := a.N
+	inv := make([]int, n)
 	for k, old := range perm {
 		inv[old] = k
 	}
-	entries := make([]Coord, 0, a.NNZ())
-	for i := 0; i < a.N; i++ {
-		vals := a.RowVals(i)
-		for idx, j := range a.Row(i) {
-			v := 1.0
-			if vals != nil {
-				v = vals[idx]
-			}
-			entries = append(entries, Coord{inv[i], inv[j], v})
-		}
+	rowPtr := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		old := perm[k]
+		rowPtr[k+1] = rowPtr[k] + (a.RowPtr[old+1] - a.RowPtr[old])
 	}
-	return FromCoords(a.N, entries, a.Val == nil)
+	cols := make([]int, a.NNZ())
+	var vals []float64
+	if a.Val != nil {
+		vals = make([]float64, a.NNZ())
+	}
+	sorter := &colValSorter{} // one sorter for all rows; sort.Sort escapes it
+	for k := 0; k < n; k++ {
+		old := perm[k]
+		lo, hi := rowPtr[k], rowPtr[k+1]
+		dst := cols[lo:hi]
+		for t, j := range a.Col[a.RowPtr[old]:a.RowPtr[old+1]] {
+			dst[t] = inv[j]
+		}
+		if vals == nil {
+			sort.Ints(dst)
+			continue
+		}
+		rv := vals[lo:hi]
+		copy(rv, a.Val[a.RowPtr[old]:a.RowPtr[old+1]])
+		sorter.cols, sorter.vals = dst, rv
+		sort.Sort(sorter)
+	}
+	return &CSR{N: n, RowPtr: rowPtr, Col: cols, Val: vals}
 }
 
 // BFS performs a breadth-first search over G(A) from start, ignoring

@@ -1,0 +1,86 @@
+package rcm_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/rcm"
+)
+
+// TestConcurrentOrderSharedMatrix is the facade's goroutine-safety
+// contract, stated as a test (the service layer depends on it): many
+// concurrent Order calls on ONE shared Matrix, across all four backends,
+// are race-free — the engines treat the input as read-only and build only
+// private state — and every call returns the identical permutation. The
+// lazily memoized Digest is hammered alongside, since the service computes
+// it on the request path. Run under -race in CI.
+func TestConcurrentOrderSharedMatrix(t *testing.T) {
+	a, _ := rcm.Scramble(rcm.Grid3D(8, 7, 5, 1, true), 4)
+	ref, err := rcm.Order(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := a.Digest()
+
+	backends := [][]rcm.Option{
+		nil,
+		{rcm.WithBackend(rcm.Algebraic)},
+		{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4)},
+		{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithThreads(2)},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		opts := backends[i%len(backends)]
+		wg.Add(1)
+		go func(opts []rcm.Option) {
+			defer wg.Done()
+			if d := a.Digest(); d != digest {
+				t.Errorf("digest changed under concurrency: %s", d)
+			}
+			res, err := rcm.Order(a, opts...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(res.Perm, ref.Perm) {
+				t.Error("concurrent ordering differs from the single-threaded reference")
+			}
+		}(opts)
+	}
+	wg.Wait()
+	if d := a.Digest(); d != digest {
+		t.Errorf("digest not stable after concurrent orders: %s", d)
+	}
+}
+
+// TestDigestAndFingerprint pins the content-address semantics the service
+// cache keys on: the digest tracks the pattern (not the values, not the
+// object identity), and the fingerprint tracks the resolved options (not
+// their spelling).
+func TestDigestAndFingerprint(t *testing.T) {
+	a := rcm.Grid2D(9, 7)
+	b := rcm.Grid2D(9, 7)
+	if a.Digest() != b.Digest() {
+		t.Error("equal patterns, different digests")
+	}
+	if a.Digest() == rcm.Grid2D(7, 9).Digest() {
+		t.Error("different patterns, equal digests")
+	}
+	// Scrambling permutes the pattern: different digest.
+	s, _ := rcm.Scramble(a, 3)
+	if s.Digest() == a.Digest() {
+		t.Error("scramble kept the digest")
+	}
+
+	if rcm.OptionsFingerprint() != rcm.OptionsFingerprint(rcm.WithBackend(rcm.Sequential)) {
+		t.Error("spelled-out default differs from implied default")
+	}
+	if rcm.OptionsFingerprint() == rcm.OptionsFingerprint(rcm.WithBackend(rcm.Distributed)) {
+		t.Error("different backends, equal fingerprints")
+	}
+	if rcm.OptionsFingerprint(rcm.WithProcs(4), rcm.WithThreads(2)) !=
+		rcm.OptionsFingerprint(rcm.WithThreads(2), rcm.WithProcs(4)) {
+		t.Error("option order changed the fingerprint")
+	}
+}

@@ -1,0 +1,79 @@
+package rcm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/spmat"
+)
+
+// Digest returns a content hash of the matrix pattern: a hex SHA-256 over
+// the canonical CSR form (dimension, row pointers, column indices). Two
+// matrices have equal digests exactly when their sparsity patterns are
+// identical — numeric values are excluded on purpose, because nothing an
+// ordering Result reports depends on them. The digest is the matrix half of
+// an ordering cache key (see OptionsFingerprint and package
+// repro/rcm/service); it is memoized, so repeated requests on one Matrix
+// hash the pattern only once.
+func (m *Matrix) Digest() string {
+	m.digestOnce.Do(func() { m.digestVal = patternDigest(m.csr) })
+	return m.digestVal
+}
+
+// patternDigest hashes the canonical CSR pattern.
+func patternDigest(csr *spmat.CSR) string {
+	h := sha256.New()
+	var hdr [24]byte
+	copy(hdr[:8], "rcmcsr/1")
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(csr.N))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(csr.NNZ()))
+	h.Write(hdr[:])
+	writeInts(h, csr.RowPtr)
+	writeInts(h, csr.Col)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeInts streams a []int through the hash as little-endian 64-bit words,
+// converting through a fixed chunk so the slice is never duplicated.
+func writeInts(h interface{ Write([]byte) (int, error) }, xs []int) {
+	var buf [512 * 8]byte
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > 512 {
+			n = 512
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(xs[i]))
+		}
+		h.Write(buf[:n*8])
+		xs = xs[n:]
+	}
+}
+
+// OptionsFingerprint renders the fully resolved option set as a canonical
+// string: two option lists fingerprint equally exactly when Order would
+// behave identically under them (same backend, parallel configuration,
+// heuristic, direction, sort mode, thresholds, seed and flags), regardless
+// of option order or of spelled-out versus defaulted values. Together with
+// Matrix.Digest it forms a content-addressed cache key for ordering
+// results; repro/rcm/service keys its result cache with exactly this pair.
+//
+// The fingerprint is intentionally conservative: it includes options such
+// as Procs and Threads that change only the modelled Breakdown, never the
+// permutation, because the cached Result carries those too.
+func OptionsFingerprint(opts ...Option) string {
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rcmopt/1 backend=%v sort=%v heuristic=%v direction=%v", c.backend, c.sortMode, c.heuristic, c.direction)
+	fmt.Fprintf(&sb, " dir=%d/%d", c.dirAlpha, c.dirBeta)
+	fmt.Fprintf(&sb, " bc=%d/%d/%t", c.bcWidthW, c.bcHeightW, c.bcSet)
+	fmt.Fprintf(&sb, " start=%d procs=%d threads=%d seed=%d", c.start, c.procs, c.threads, c.seed)
+	fmt.Fprintf(&sb, " hyper=%t norev=%t sym=%t", c.hypersparse, c.noReverse, c.symmetrize)
+	return sb.String()
+}

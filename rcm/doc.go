@@ -37,10 +37,19 @@
 //
 // The package also re-exports everything an application needs so that no
 // caller ever imports repro/internal/...: Matrix Market I/O (LoadMatrixMarket,
-// SaveMatrixMarket, LoadPermutation, SavePermutation), the synthetic graph
-// generators and the paper's nine-matrix analog suite (Grid2D, Grid3D, RMAT,
-// Suite, ...), and the conjugate-gradient solvers of the paper's Fig. 1
-// motivation (SolvePCG, SolveDistributedPCG, ModelDistributedSolve).
+// SaveMatrixMarket, LoadPermutation, SavePermutation), the RCMB compact
+// binary format for large uploads (ReadBinary, WriteBinary), the synthetic
+// graph generators and the paper's nine-matrix analog suite (Grid2D, Grid3D,
+// RMAT, Suite, ...), and the conjugate-gradient solvers of the paper's
+// Fig. 1 motivation (SolvePCG, SolveDistributedPCG, ModelDistributedSolve).
+//
+// Orderings are content-addressable: Matrix.Digest hashes the canonical
+// sparsity pattern and OptionsFingerprint canonicalizes a resolved option
+// set, so Digest + Fingerprint identifies an Order call's behaviour
+// exactly. The subpackage repro/rcm/service builds on that pair: a
+// goroutine-safe ordering service (worker pool, content-hash LRU result
+// cache, single-flight deduplication) served over HTTP by cmd/rcmserve —
+// see OPERATIONS.md.
 //
 // The experiment harness that regenerates every table and figure lives in
 // the subpackage repro/rcm/bench and is driven by cmd/rcmbench; see

@@ -71,6 +71,30 @@ func WriteMatrixMarket(w io.Writer, a *Matrix, symmetric bool, comments ...strin
 	return mmio.Write(w, a.csr, symmetric, comments...)
 }
 
+// ReadBinary decodes a matrix from the RCMB compact binary format, the
+// upload format of the ordering service (repro/rcm/service) for matrices
+// too large to ship as Matrix Market text. The stream is a serialized CSR
+// (uvarint row lengths, delta-coded column indices, optional float64
+// values), so the decode is streaming and single-buffered: no intermediate
+// coordinate list is ever built. See WriteBinary for producing it.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	a, err := mmio.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(a), nil
+}
+
+// WriteBinary encodes the matrix in the RCMB compact binary format read by
+// ReadBinary — typically ~2 bytes per entry on banded patterns, an order of
+// magnitude under coordinate text.
+func WriteBinary(w io.Writer, a *Matrix) error {
+	if a == nil || a.csr == nil {
+		return fmt.Errorf("rcm: nil matrix")
+	}
+	return mmio.WriteBinary(w, a.csr)
+}
+
 // SavePermutation writes a permutation as a text file with one 1-based
 // index per line, the interchange convention of symrcm and METIS-style
 // tooling.

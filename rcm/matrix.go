@@ -2,6 +2,7 @@ package rcm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/spmat"
 )
@@ -15,6 +16,13 @@ import (
 // new one.
 type Matrix struct {
 	csr *spmat.CSR
+
+	// digestOnce/digestVal memoize Digest: the pattern is immutable, so
+	// the hash is computed at most once per Matrix no matter how many
+	// service requests key on it. sync.Once makes the memo safe under
+	// concurrent Order calls sharing one Matrix.
+	digestOnce sync.Once
+	digestVal  string
 }
 
 // wrap adopts an internal CSR. Internal constructors guarantee csr != nil.

@@ -76,7 +76,7 @@ const (
 	SortNone
 )
 
-// String names the sort mode.
+// String names the sort mode as accepted by ParseSortMode.
 func (m SortMode) String() string {
 	switch m {
 	case SortFull:
@@ -87,6 +87,20 @@ func (m SortMode) String() string {
 		return "none"
 	}
 	return fmt.Sprintf("SortMode(%d)", int(m))
+}
+
+// ParseSortMode maps a command-line name to a SortMode. It accepts
+// full|local|none.
+func ParseSortMode(s string) (SortMode, error) {
+	switch s {
+	case "full":
+		return SortFull, nil
+	case "local":
+		return SortLocal, nil
+	case "none":
+		return SortNone, nil
+	}
+	return 0, fmt.Errorf("rcm: unknown sort mode %q (want full|local|none)", s)
 }
 
 // Direction selects the traversal direction policy of the level-synchronous

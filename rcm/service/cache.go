@@ -1,0 +1,125 @@
+package service
+
+import (
+	"container/list"
+	"time"
+)
+
+// lruCache is the content-addressed result cache: key = matrix digest +
+// options fingerprint, value = the completed Response, evicted least
+// recently used once the byte budget is exceeded. It is not goroutine-safe
+// by itself; the Service serializes access under its mutex.
+type lruCache struct {
+	capacity  int64 // byte budget; < 0 disables caching entirely
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key   string
+	resp  *Response
+	bytes int64
+}
+
+func newLRUCache(capacity int64) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, promoting it to most recently
+// used, or nil.
+func (c *lruCache) get(key string) *Response {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp
+}
+
+// put inserts a completed response, then evicts from the cold end until the
+// budget holds again. A single result larger than the whole budget is not
+// cached at all — evicting the entire cache for one uncacheable giant would
+// only thrash.
+func (c *lruCache) put(key string, resp *Response, size int64) {
+	if c.capacity < 0 || size > c.capacity {
+		return
+	}
+	if _, ok := c.items[key]; ok {
+		return // single-flight means this only races a re-insert of the same value
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, bytes: size})
+	c.bytes += size
+	for c.bytes > c.capacity {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// responseBytes estimates a cache entry's resident size: the permutation
+// dominates, plus a fixed overhead for the stats, key strings and list
+// bookkeeping.
+func responseBytes(r *Response) int64 {
+	b := int64(8*len(r.Perm)) + 512
+	if r.Modeled != nil {
+		b += int64(64 * len(r.Modeled.Phases))
+	}
+	return b
+}
+
+// latencyHist is one backend's wall-clock latency histogram: cumulative
+// counts at power-of-two bucket bounds from 16 µs to ~0.5 s, plus an
+// overflow bucket — the shape /metrics exports in the Prometheus histogram
+// convention.
+type latencyHist struct {
+	counts  [len(latencyBoundsNs) + 1]uint64
+	totalNs int64
+	n       uint64
+}
+
+// latencyBoundsNs are the bucket upper bounds in nanoseconds: 16 µs × 2^k.
+var latencyBoundsNs = func() [16]int64 {
+	var b [16]int64
+	ns := int64(16_000)
+	for i := range b {
+		b[i] = ns
+		ns *= 2
+	}
+	return b
+}()
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.totalNs += ns
+	h.n++
+	for i, bound := range latencyBoundsNs {
+		if ns <= bound {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBoundsNs)]++
+}
+
+// snapshot renders the histogram as cumulative (le, count) pairs.
+func (h *latencyHist) snapshot() LatencyStats {
+	out := LatencyStats{
+		Count:        h.n,
+		TotalSeconds: float64(h.totalNs) / 1e9,
+		Buckets:      make([]LatencyBucket, 0, len(h.counts)),
+	}
+	var cum uint64
+	for i, c := range h.counts[:len(latencyBoundsNs)] {
+		cum += c
+		out.Buckets = append(out.Buckets, LatencyBucket{
+			LeSeconds: float64(latencyBoundsNs[i]) / 1e9,
+			Count:     cum,
+		})
+	}
+	return out
+}

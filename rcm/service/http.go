@@ -1,0 +1,277 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"repro/rcm"
+)
+
+// Matrix upload content types accepted by POST /v1/order.
+const (
+	// ContentTypeMatrixMarket is a Matrix Market coordinate body (also
+	// accepted as text/plain or an unset content type).
+	ContentTypeMatrixMarket = "application/x-matrix-market"
+	// ContentTypeBinary is the RCMB compact binary body written by
+	// rcm.WriteBinary (also accepted as application/octet-stream).
+	ContentTypeBinary = "application/x-rcm-binary"
+)
+
+// NewHandler exposes a Service over HTTP:
+//
+//	POST /v1/order    order the matrix in the request body; options come
+//	                  from the URL query (backend, procs, threads, sort,
+//	                  heuristic, direction, diralpha, dirbeta, widthweight,
+//	                  heightweight, start, seed, hypersparse, noreverse,
+//	                  nosymmetrize; perm=0 omits the permutation from the
+//	                  response). Body formats: Matrix Market text or RCMB
+//	                  binary, selected by Content-Type.
+//	GET  /v1/stats    the Stats snapshot as JSON
+//	GET  /metrics     the same counters in Prometheus text format
+//	GET  /healthz     liveness probe
+//
+// Responses to /v1/order are the Response type as JSON, with an X-Cache
+// header (hit | miss | dedup) for quick curl inspection. See OPERATIONS.md
+// for the full API reference with examples.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/order", func(w http.ResponseWriter, r *http.Request) { handleOrder(s, w, r) })
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError is the JSON error body of every non-2xx response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
+	sp, includePerm, err := specFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	// The upload cap (Config.MaxUploadBytes) bounds the request stream,
+	// not the decoded matrix — a compact binary body expands ~8-16× into
+	// CSR arrays, which OPERATIONS.md tells operators to budget for. The
+	// readers allocate only as body bytes actually arrive, so a malicious
+	// header alone cannot balloon memory. A declared Content-Length over
+	// the cap is refused before any decoding; MaxBytesReader enforces the
+	// same bound on chunked bodies that decline to declare one (there the
+	// text decoder may report the cut as a parse error — still a 4xx,
+	// just a less precise one).
+	if r.ContentLength > s.cfg.MaxUploadBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			httpError{fmt.Sprintf("request body %d bytes exceeds the %d-byte upload cap", r.ContentLength, s.cfg.MaxUploadBytes)})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt // drop parameters like "; charset=utf-8"
+	}
+	var a *rcm.Matrix
+	switch ct {
+	// x-www-form-urlencoded is what curl --data-binary sends when no
+	// Content-Type is given; treat it as Matrix Market text so the
+	// obvious curl invocation works.
+	case ContentTypeMatrixMarket, "text/plain", "application/x-www-form-urlencoded", "":
+		a, _, err = rcm.ReadMatrixMarket(r.Body)
+	case ContentTypeBinary, "application/octet-stream":
+		a, err = rcm.ReadBinary(r.Body)
+	default:
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			httpError{fmt.Sprintf("unsupported Content-Type %q (want %s or %s)", ct, ContentTypeMatrixMarket, ContentTypeBinary)})
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, httpError{err.Error()})
+		return
+	}
+
+	resp, err := s.Order(r.Context(), a, sp)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+		return
+	case r.Context().Err() != nil:
+		return // client went away; nothing useful to write
+	default:
+		// Everything else is a rejected configuration or matrix: the
+		// facade's validation layer speaks before any engine runs.
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	switch {
+	case resp.Cached:
+		w.Header().Set("X-Cache", "hit")
+	case resp.Deduped:
+		w.Header().Set("X-Cache", "dedup")
+	default:
+		w.Header().Set("X-Cache", "miss")
+	}
+	if !includePerm {
+		trimmed := *resp
+		trimmed.Perm = nil
+		resp = &trimmed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// specFromQuery decodes the ordering options of one request from its URL
+// query. Unknown names and unparsable numbers are rejected; unknown values
+// for known names are left to Spec.Options / rcm.Order, whose errors name
+// the valid choices.
+func specFromQuery(q url.Values) (sp Spec, includePerm bool, err error) {
+	includePerm = true
+	atoi := func(key, val string) (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("service: bad %s %q: want an integer", key, val)
+		}
+		return n, nil
+	}
+	for key, vals := range q {
+		val := vals[len(vals)-1]
+		switch key {
+		case "backend":
+			sp.Backend = val
+		case "sort":
+			sp.Sort = val
+		case "heuristic":
+			sp.Heuristic = val
+		case "direction":
+			sp.Direction = val
+		case "procs":
+			if sp.Procs, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "threads":
+			if sp.Threads, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "diralpha":
+			if sp.DirAlpha, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "dirbeta":
+			if sp.DirBeta, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "widthweight":
+			if sp.WidthWeight, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "heightweight":
+			if sp.HeightWeight, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
+		case "start":
+			v, err := atoi(key, val)
+			if err != nil {
+				return sp, includePerm, err
+			}
+			sp.Start = &v
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return sp, includePerm, fmt.Errorf("service: bad seed %q: want an integer", val)
+			}
+			sp.Seed = v
+		case "hypersparse":
+			sp.Hypersparse = Bool(val != "0" && val != "false")
+		case "noreverse":
+			sp.NoReverse = Bool(val != "0" && val != "false")
+		case "nosymmetrize":
+			sp.NoSymmetrize = Bool(val != "0" && val != "false")
+		case "perm":
+			includePerm = val != "0" && val != "false"
+		default:
+			return sp, includePerm, fmt.Errorf("service: unknown query parameter %q", key)
+		}
+	}
+	return sp, includePerm, nil
+}
+
+// writeMetrics renders the Stats snapshot in the Prometheus text exposition
+// format (counters, gauges, and one latency histogram per backend).
+func writeMetrics(w http.ResponseWriter, st Stats) {
+	gauge := func(name string, help string, v any) {
+		fmt.Fprintf(w, "# HELP rcm_service_%s %s\n# TYPE rcm_service_%s gauge\n", name, help, name)
+		fmt.Fprintf(w, "rcm_service_%s %v\n", name, v)
+	}
+	counter := func(name string, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP rcm_service_%s %s\n# TYPE rcm_service_%s counter\n", name, help, name)
+		fmt.Fprintf(w, "rcm_service_%s %d\n", name, v)
+	}
+	counter("cache_hits_total", "requests served from the result cache", st.Hits)
+	counter("cache_misses_total", "requests that queued a computation", st.Misses)
+	counter("singleflight_dedups_total", "requests coalesced onto an in-flight computation", st.Dedups)
+	counter("cache_evictions_total", "cache entries evicted by the byte budget", st.Evictions)
+	counter("jobs_total", "orderings executed by the worker pool", st.Jobs)
+	gauge("inflight", "distinct keys currently computing", st.Inflight)
+	gauge("queue_depth", "jobs accepted but not yet running", st.QueueDepth)
+	gauge("cache_entries", "resident cache entries", st.Entries)
+	gauge("cache_bytes", "resident cache bytes", st.Bytes)
+	gauge("cache_capacity_bytes", "cache byte budget", st.CapacityBytes)
+	gauge("workers", "worker pool size", st.Workers)
+
+	if len(st.Latency) > 0 {
+		fmt.Fprintf(w, "# HELP rcm_service_latency_seconds wall-clock ordering latency per backend\n")
+		fmt.Fprintf(w, "# TYPE rcm_service_latency_seconds histogram\n")
+		backends := make([]string, 0, len(st.Latency))
+		for b := range st.Latency {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		for _, b := range backends {
+			h := st.Latency[b]
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(w, "rcm_service_latency_seconds_bucket{backend=%q,le=%q} %d\n", b, trimFloat(bk.LeSeconds), bk.Count)
+			}
+			fmt.Fprintf(w, "rcm_service_latency_seconds_bucket{backend=%q,le=\"+Inf\"} %d\n", b, h.Count)
+			fmt.Fprintf(w, "rcm_service_latency_seconds_sum{backend=%q} %g\n", b, h.TotalSeconds)
+			fmt.Fprintf(w, "rcm_service_latency_seconds_count{backend=%q} %d\n", b, h.Count)
+		}
+	}
+	if len(st.Modeled) > 0 {
+		fmt.Fprintf(w, "# HELP rcm_service_modeled_seconds_total cumulative modelled BSP time of distributed jobs\n")
+		fmt.Fprintf(w, "# TYPE rcm_service_modeled_seconds_total counter\n")
+		for _, p := range st.Modeled {
+			fmt.Fprintf(w, "rcm_service_modeled_seconds_total{phase=%q,kind=\"comp\"} %g\n", p.Phase, p.CompSeconds)
+			fmt.Fprintf(w, "rcm_service_modeled_seconds_total{phase=%q,kind=\"comm\"} %g\n", p.Phase, p.CommSeconds)
+		}
+	}
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,317 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/rcm"
+	"repro/rcm/service"
+)
+
+// postMatrix uploads a pair's matrix under its spec's query string,
+// alternating Matrix Market text and RCMB binary bodies so both decode
+// paths run hot under the race detector.
+func postMatrix(t *testing.T, client *http.Client, base string, p pair, binary bool) *service.Response {
+	t.Helper()
+	var body bytes.Buffer
+	contentType := service.ContentTypeMatrixMarket
+	if binary {
+		contentType = service.ContentTypeBinary
+		if err := rcm.WriteBinary(&body, p.a); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := rcm.WriteMatrixMarket(&body, p.a, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/order?"+specQuery(p.sp), contentType, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: HTTP %d: %s", p.name, resp.StatusCode, payload)
+	}
+	switch xc := resp.Header.Get("X-Cache"); xc {
+	case "hit", "miss", "dedup":
+	default:
+		t.Fatalf("%s: X-Cache = %q", p.name, xc)
+	}
+	var out service.Response
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("%s: %v", p.name, err)
+	}
+	return &out
+}
+
+// specQuery renders a Spec as /v1/order query parameters.
+func specQuery(sp service.Spec) string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if sp.Backend != "" {
+		add("backend", sp.Backend)
+	}
+	if sp.Procs != 0 {
+		add("procs", fmt.Sprint(sp.Procs))
+	}
+	if sp.Threads != 0 {
+		add("threads", fmt.Sprint(sp.Threads))
+	}
+	if sp.Sort != "" {
+		add("sort", sp.Sort)
+	}
+	if sp.Heuristic != "" {
+		add("heuristic", sp.Heuristic)
+	}
+	if sp.Direction != "" {
+		add("direction", sp.Direction)
+	}
+	if sp.Start != nil {
+		add("start", fmt.Sprint(*sp.Start))
+	}
+	if sp.Hypersparse != nil {
+		add("hypersparse", "1")
+	}
+	if sp.NoReverse != nil {
+		add("noreverse", "1")
+	}
+	return strings.Join(parts, "&")
+}
+
+// TestHTTPAcceptance is the end-to-end proof of ISSUE 5: 64 concurrent
+// HTTP requests over 8 distinct (matrix, options) pairs complete with
+// permutations byte-identical to direct rcm.Order, the cache reports at
+// least 56 hits+dedups (exactly 56: one computation per pair), and a
+// repeated identical request is served as a hit without a new worker job.
+func TestHTTPAcceptance(t *testing.T) {
+	pairs := testPairs()
+	want := reference(t, pairs)
+
+	svc := service.New(service.Config{Workers: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	const replicas = 8
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		for i, p := range pairs {
+			wg.Add(1)
+			go func(r, i int, p pair) {
+				defer wg.Done()
+				resp := postMatrix(t, ts.Client(), ts.URL, p, (r+i)%2 == 0)
+				if !reflect.DeepEqual(resp.Perm, want[i]) {
+					t.Errorf("%s: HTTP permutation differs from direct rcm.Order", p.name)
+				}
+			}(r, i, p)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	st := svc.Stats()
+	if st.Jobs != uint64(len(pairs)) {
+		t.Errorf("pool executed %d jobs, want %d", st.Jobs, len(pairs))
+	}
+	if saved := st.Hits + st.Dedups; saved < 56 {
+		t.Errorf("hits+dedups = %d (%d hits, %d dedups), want >= 56", saved, st.Hits, st.Dedups)
+	}
+
+	// The repeated identical request: hit counter up, no new job.
+	resp := postMatrix(t, ts.Client(), ts.URL, pairs[0], false)
+	if !resp.Cached {
+		t.Error("repeated identical request not served from cache")
+	}
+	after := svc.Stats()
+	if after.Hits != st.Hits+1 || after.Jobs != st.Jobs {
+		t.Errorf("repeat: hits %d -> %d, jobs %d -> %d; want +1 hit, no new job",
+			st.Hits, after.Hits, st.Jobs, after.Jobs)
+	}
+}
+
+// TestHTTPContentAddressing: the same pattern uploaded as text and as
+// binary lands on the same cache key — the address is the content, not the
+// encoding.
+func TestHTTPContentAddressing(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	a, _ := rcm.Scramble(rcm.Grid2D(15, 15), 8)
+	p := pair{"text-vs-binary", a, service.Spec{Backend: "shared", Threads: 2}}
+	first := postMatrix(t, ts.Client(), ts.URL, p, false)
+	second := postMatrix(t, ts.Client(), ts.URL, p, true)
+	if second.Key != first.Key {
+		t.Errorf("keys differ across encodings: %q vs %q", first.Key, second.Key)
+	}
+	if !second.Cached {
+		t.Error("binary re-upload of the same pattern was not a cache hit")
+	}
+}
+
+// TestHTTPErrors maps malformed requests to 4xx JSON errors.
+func TestHTTPErrors(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	var mm bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&mm, rcm.Grid2D(4, 4), false); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, query, contentType, body string
+		wantStatus                     int
+	}{
+		{"bad content type", "", "application/json", mm.String(), http.StatusUnsupportedMediaType},
+		{"curl default content type", "", "application/x-www-form-urlencoded", mm.String(), http.StatusOK},
+		{"content type with params", "", service.ContentTypeMatrixMarket + "; charset=utf-8", mm.String(), http.StatusOK},
+		{"unknown query param", "frobnicate=1", "", mm.String(), http.StatusBadRequest},
+		{"non-integer procs", "procs=many", "", mm.String(), http.StatusBadRequest},
+		{"unknown backend", "backend=gpu", "", mm.String(), http.StatusBadRequest},
+		{"garbage matrix", "", "", "this is not a matrix", http.StatusBadRequest},
+		{"garbage binary", "", service.ContentTypeBinary, "nor is this", http.StatusBadRequest},
+		{"non-square grid", "backend=distributed&procs=7", "", mm.String(), http.StatusBadRequest},
+		// Tiny bodies declaring absurd sizes: rejected cheaply (no
+		// header-driven allocation), not by OOM — both formats.
+		{"giant MM header", "", "", "%%MatrixMarket matrix coordinate pattern general\n2 2 999999999999999999\n", http.StatusBadRequest},
+		{"overflowing MM header", "", "", "%%MatrixMarket matrix coordinate pattern general\n-7 -7 10\n", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/order?"+c.query, c.contentType, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: HTTP %d, want %d (%s)", c.name, resp.StatusCode, c.wantStatus, payload)
+		}
+		if c.wantStatus == http.StatusOK {
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(payload, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", c.name, payload)
+		}
+	}
+}
+
+// TestHTTPUploadCap: a body over Config.MaxUploadBytes is refused with 413
+// on both decode paths.
+func TestHTTPUploadCap(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, MaxUploadBytes: 1024})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	var mm bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&mm, rcm.Grid2D(30, 30), false); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := rcm.WriteBinary(&bin, rcm.Grid2D(40, 40)); err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]struct {
+		contentType string
+		body        []byte
+	}{
+		"matrix market": {service.ContentTypeMatrixMarket, mm.Bytes()},
+		"binary":        {service.ContentTypeBinary, bin.Bytes()},
+	} {
+		if len(c.body) <= 1024 {
+			t.Fatalf("%s: test body too small to exceed the cap", name)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/v1/order", c.contentType, bytes.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: HTTP %d, want 413", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPObservability drives a few orders and checks /healthz, /v1/stats
+// and the Prometheus rendering of /metrics.
+func TestHTTPObservability(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	a, _ := rcm.Scramble(rcm.Grid3D(6, 5, 4, 1, true), 5)
+	p := pair{"obs", a, service.Spec{Backend: "distributed", Procs: 4}}
+	postMatrix(t, ts.Client(), ts.URL, p, false)
+	postMatrix(t, ts.Client(), ts.URL, p, false)
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get("/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats: HTTP %d", code)
+	}
+	var st service.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Jobs != 1 {
+		t.Errorf("stats: hits=%d misses=%d jobs=%d, want 1/1/1", st.Hits, st.Misses, st.Jobs)
+	}
+	if len(st.Latency["distributed"].Buckets) == 0 {
+		t.Error("stats: no distributed latency histogram")
+	}
+	if len(st.Modeled) == 0 {
+		t.Error("stats: no modelled breakdown aggregate")
+	}
+
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	for _, want := range []string{
+		"rcm_service_cache_hits_total 1",
+		"rcm_service_cache_misses_total 1",
+		"rcm_service_jobs_total 1",
+		`rcm_service_latency_seconds_bucket{backend="distributed",le="+Inf"} 1`,
+		`rcm_service_latency_seconds_count{backend="distributed"} 1`,
+		`rcm_service_modeled_seconds_total{phase=`,
+		"rcm_service_cache_capacity_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package service turns the rcm facade into an ordering-as-a-service layer:
+// an embeddable, goroutine-safe Service that runs rcm.Order jobs on a
+// bounded worker pool behind a content-addressed result cache, with
+// single-flight deduplication so concurrent identical requests compute
+// once. Command rcmserve exposes a Service over HTTP (see NewHandler);
+// embedded users call Order directly.
+//
+// The cache key is rcm's own content address: Matrix.Digest (a SHA-256 of
+// the canonical sparsity pattern) joined with rcm.OptionsFingerprint (the
+// canonical rendering of the resolved option set). Two requests therefore
+// share one cached Result exactly when Order would have behaved
+// identically for both — regardless of where the matrix bytes came from or
+// how the options were spelled. Entries are evicted least recently used
+// under a byte budget (Config.CacheBytes).
+//
+// Every response reports how it was served (computed, cache hit, or
+// coalesced onto an in-flight computation), and Stats exposes the
+// operational counters — hit/miss/dedup/eviction counts, queue depth,
+// per-backend latency histograms, and the cumulative modelled BSP
+// breakdown of the distributed jobs — that /metrics exports. See
+// OPERATIONS.md for running and sizing the server.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/rcm"
+)
+
+// ErrClosed is returned by Order once Close has been called.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the worker-pool size: at most this many rcm.Order jobs
+	// run concurrently. 0 defaults to runtime.GOMAXPROCS(0). Note the
+	// Shared and Distributed backends are internally parallel, so the
+	// effective CPU demand is Workers × per-job threads.
+	Workers int
+	// QueueDepth bounds the jobs accepted but not yet running; a full
+	// queue applies backpressure (a leading Order call blocks until a
+	// worker frees a slot or the service closes — deliberately not until
+	// its own context is done, because the admission it performs is
+	// shared with deduplicated followers). 0 defaults to 4 × Workers.
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget (permutations
+	// dominate: ~8 bytes per vertex per entry). 0 defaults to 256 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// MaxUploadBytes bounds one HTTP request body (0 defaults to 1 GiB).
+	// It caps the stream, not the decoded matrix: a compact binary upload
+	// expands ~8-16× into CSR arrays, so size host memory for
+	// workers × the expanded working set.
+	MaxUploadBytes int64
+	// DefaultSpec supplies server-side defaults for fields a request's
+	// Spec leaves unset (e.g. a default backend and process count).
+	DefaultSpec Spec
+}
+
+// Response is one served ordering: the request's cache identity, how it was
+// served, and the rcm.Result content flattened into a wire-friendly form.
+// Perm is shared with the service's cache — treat it as read-only.
+type Response struct {
+	// Key is the content-addressed cache key (matrix digest |
+	// options fingerprint).
+	Key string `json:"key"`
+	// Cached reports a cache hit; Deduped reports the request was
+	// coalesced onto an identical in-flight computation. Both false
+	// means this request's job computed the result.
+	Cached  bool `json:"cached"`
+	Deduped bool `json:"deduped"`
+	// N and NNZ describe the ordered matrix.
+	N   int `json:"n"`
+	NNZ int `json:"nnz"`
+	// Backend, Procs and Threads record the configuration that ran.
+	Backend string `json:"backend"`
+	Procs   int    `json:"procs"`
+	Threads int    `json:"threads"`
+	// Components and PseudoDiameter mirror rcm.Result.
+	Components     int `json:"components"`
+	PseudoDiameter int `json:"pseudoDiameter"`
+	// Before and After are the ordering-quality statistics.
+	Before rcm.Stats `json:"before"`
+	After  rcm.Stats `json:"after"`
+	// Perm is the permutation in symrcm convention (omitted over HTTP
+	// with ?perm=0).
+	Perm []int `json:"perm,omitempty"`
+	// Modeled is the distributed backend's modelled BSP breakdown.
+	Modeled *rcm.Breakdown `json:"modeled,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the service's operational counters.
+type Stats struct {
+	// Hits, Misses and Dedups partition completed admissions: served
+	// from cache, computed fresh, or coalesced onto an in-flight job.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Dedups uint64 `json:"dedups"`
+	// Evictions counts cache entries dropped by the byte budget.
+	Evictions uint64 `json:"evictions"`
+	// Jobs counts orderings actually executed by the pool — the
+	// recomputation work the cache and single-flight saved is
+	// Hits + Dedups.
+	Jobs uint64 `json:"jobs"`
+	// Inflight is the number of distinct keys currently computing;
+	// QueueDepth the jobs accepted but not yet picked up by a worker.
+	Inflight   int `json:"inflight"`
+	QueueDepth int `json:"queueDepth"`
+	// Entries and Bytes describe the cache's current occupancy against
+	// CapacityBytes.
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacityBytes"`
+	// Workers echoes the pool size.
+	Workers int `json:"workers"`
+	// Latency holds one wall-clock histogram per backend that executed
+	// at least one job.
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
+	// Modeled is the cumulative modelled BSP phase breakdown summed over
+	// all distributed jobs (computed ones — cache hits add nothing).
+	Modeled []PhaseSeconds `json:"modeled,omitempty"`
+}
+
+// LatencyStats is one backend's latency histogram: cumulative bucket counts
+// in the Prometheus convention plus count and sum.
+type LatencyStats struct {
+	Count        uint64          `json:"count"`
+	TotalSeconds float64         `json:"totalSeconds"`
+	Buckets      []LatencyBucket `json:"buckets"`
+}
+
+// LatencyBucket is a cumulative count of observations at or under
+// LeSeconds.
+type LatencyBucket struct {
+	LeSeconds float64 `json:"le"`
+	Count     uint64  `json:"count"`
+}
+
+// PhaseSeconds is the cumulative modelled time of one BSP phase.
+type PhaseSeconds struct {
+	Phase       string  `json:"phase"`
+	CompSeconds float64 `json:"compSeconds"`
+	CommSeconds float64 `json:"commSeconds"`
+}
+
+// flight is one in-progress computation; followers of the same key wait on
+// done instead of enqueuing a second job.
+type flight struct {
+	done chan struct{}
+	once sync.Once
+	resp *Response
+	err  error
+}
+
+// complete resolves the flight exactly once (the worker on success or
+// failure, Close on shutdown).
+func (f *flight) complete(resp *Response, err error) {
+	f.once.Do(func() {
+		f.resp, f.err = resp, err
+		close(f.done)
+	})
+}
+
+// job is one queued ordering.
+type job struct {
+	key  string
+	a    *rcm.Matrix
+	opts []rcm.Option
+	f    *flight
+}
+
+// Service is the concurrent ordering service. Create one with New, share it
+// freely across goroutines, and Close it when done. All exported methods
+// are goroutine-safe.
+type Service struct {
+	cfg  Config
+	jobs chan *job
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	cache   *lruCache
+	flights map[string]*flight
+	hits    uint64
+	misses  uint64
+	dedups  uint64
+	jobsRun uint64
+	latency map[string]*latencyHist
+	modeled map[string]*phaseAgg // phase name -> cumulative modelled seconds
+}
+
+type phaseAgg struct{ comp, comm float64 }
+
+// New starts a Service with cfg's worker pool and cache. Always pair it
+// with Close, which waits for running jobs and fails queued ones.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		cache:   newLRUCache(cfg.CacheBytes),
+		flights: make(map[string]*flight),
+		latency: make(map[string]*latencyHist),
+		modeled: make(map[string]*phaseAgg),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Order serves one ordering request: from the cache when the content
+// address is known, by joining an identical in-flight computation when one
+// is running, and otherwise by queueing a job on the worker pool. The
+// context bounds the wait for the result, but neither the enqueue under a
+// full queue (the admission is shared with deduplicated followers) nor the
+// computation itself is cancelled — an identical later request would only
+// pay for it again.
+func (s *Service) Order(ctx context.Context, a *rcm.Matrix, sp Spec) (*Response, error) {
+	if a == nil {
+		return nil, fmt.Errorf("service: nil matrix")
+	}
+	opts, err := s.cfg.DefaultSpec.overlay(sp).Options()
+	if err != nil {
+		return nil, err
+	}
+	key := a.Digest() + "|" + rcm.OptionsFingerprint(opts...)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cached := s.cache.get(key); cached != nil {
+		s.hits++
+		s.mu.Unlock()
+		r := *cached
+		r.Cached = true
+		return &r, nil
+	}
+	f, leader := s.flights[key], false
+	if f == nil {
+		f = &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.misses++
+		leader = true
+	} else {
+		s.dedups++
+	}
+	s.mu.Unlock()
+
+	if leader {
+		// The enqueue deliberately ignores the leader's context: the
+		// flight is shared, and failing it because one requester went
+		// away would fail followers with healthy connections. A full
+		// queue therefore blocks until a worker frees a slot (bounded —
+		// workers always drain) or the service shuts down; the leader's
+		// own wait below still honors its context.
+		select {
+		case s.jobs <- &job{key: key, a: a, opts: opts, f: f}:
+		case <-s.quit:
+			s.abandon(key, f, ErrClosed)
+		}
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	r := *f.resp
+	r.Deduped = !leader
+	return &r, nil
+}
+
+// abandon resolves a flight whose job never reached the pool, so followers
+// do not wait forever.
+func (s *Service) abandon(key string, f *flight, err error) {
+	s.mu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+	f.complete(nil, err)
+}
+
+// worker executes queued jobs until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.run(j)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// run executes one ordering, records it, and resolves the flight.
+func (s *Service) run(j *job) {
+	start := time.Now()
+	res, err := rcm.Order(j.a, j.opts...)
+	elapsed := time.Since(start)
+
+	var resp *Response
+	if err == nil {
+		resp = &Response{
+			Key:            j.key,
+			N:              j.a.N(),
+			NNZ:            j.a.NNZ(),
+			Backend:        res.Backend.String(),
+			Procs:          res.Procs,
+			Threads:        res.Threads,
+			Components:     res.Components,
+			PseudoDiameter: res.PseudoDiameter,
+			Before:         res.Before,
+			After:          res.After,
+			Perm:           res.Perm,
+			Modeled:        res.Modeled,
+		}
+	}
+	s.mu.Lock()
+	s.jobsRun++
+	if err == nil {
+		s.cache.put(j.key, resp, responseBytes(resp))
+		h := s.latency[resp.Backend]
+		if h == nil {
+			h = &latencyHist{}
+			s.latency[resp.Backend] = h
+		}
+		h.observe(elapsed)
+		if resp.Modeled != nil {
+			for _, p := range resp.Modeled.Phases {
+				agg := s.modeled[p.Name]
+				if agg == nil {
+					agg = &phaseAgg{}
+					s.modeled[p.Name] = agg
+				}
+				agg.comp += p.CompSeconds
+				agg.comm += p.CommSeconds
+			}
+		}
+	}
+	delete(s.flights, j.key)
+	s.mu.Unlock()
+	j.f.complete(resp, err)
+}
+
+// Stats snapshots the operational counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Dedups:        s.dedups,
+		Evictions:     s.cache.evictions,
+		Jobs:          s.jobsRun,
+		Inflight:      len(s.flights),
+		QueueDepth:    len(s.jobs),
+		Entries:       len(s.cache.items),
+		Bytes:         s.cache.bytes,
+		CapacityBytes: s.cache.capacity,
+		Workers:       s.cfg.Workers,
+	}
+	if len(s.latency) > 0 {
+		st.Latency = make(map[string]LatencyStats, len(s.latency))
+		for b, h := range s.latency {
+			st.Latency[b] = h.snapshot()
+		}
+	}
+	if len(s.modeled) > 0 {
+		// Deterministic order: the tally phase order is fixed, but the
+		// map is not; sort by name for stable output.
+		names := make([]string, 0, len(s.modeled))
+		for name := range s.modeled {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			agg := s.modeled[name]
+			st.Modeled = append(st.Modeled, PhaseSeconds{Phase: name, CompSeconds: agg.comp, CommSeconds: agg.comm})
+		}
+	}
+	return st
+}
+
+// Close stops the pool: running jobs finish, queued and future requests
+// fail with ErrClosed. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	// Fail whatever never reached a worker: drained queue entries and any
+	// flight whose leader lost the enqueue race with shutdown. The drain
+	// runs again after the flights are failed because a racing leader may
+	// land its send between the two steps; a send that lands after the
+	// final drain leaks only the job's memory until the Service itself is
+	// unreachable — its caller still gets ErrClosed via the failed flight.
+	for i := 0; i < 2; i++ {
+		for {
+			select {
+			case j := <-s.jobs:
+				s.abandon(j.key, j.f, ErrClosed)
+				continue
+			default:
+			}
+			break
+		}
+		s.mu.Lock()
+		pending := make([]*flight, 0, len(s.flights))
+		for key, f := range s.flights {
+			pending = append(pending, f)
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		for _, f := range pending {
+			f.complete(nil, ErrClosed)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/rcm"
+	"repro/rcm/service"
+)
+
+// BenchmarkService measures the serving layer's per-request overhead on
+// the two extreme request mixes: every request distinct (the cold path —
+// digest + queue + a full rcm.Order) and every request identical (the hot
+// path — digest + cache lookup). Both report qps; together with
+// BenchmarkOrder they are the machine-readable perf trajectory CI uploads
+// (BENCH_order.json). The suite matrices match BenchmarkOrder's scale-6
+// low-diameter set so the cold numbers are comparable.
+func BenchmarkService(b *testing.B) {
+	entry, err := rcm.SuiteByName("ldoor")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := entry.Build(6)
+	spec := service.Spec{Backend: "distributed", Procs: 4, Threads: 2}
+
+	b.Run("miss", func(b *testing.B) {
+		svc := service.New(service.Config{Workers: 4})
+		defer svc.Close()
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sp := spec
+			v := i % a.N() // a fresh fingerprint every iteration: all misses
+			sp.Start = &v
+			if _, err := svc.Order(context.Background(), a, sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportServiceMetrics(b, svc, start)
+	})
+	b.Run("hit", func(b *testing.B) {
+		svc := service.New(service.Config{Workers: 4})
+		defer svc.Close()
+		if _, err := svc.Order(context.Background(), a, spec); err != nil {
+			b.Fatal(err) // warm the single entry
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Order(context.Background(), a, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("hit benchmark missed the cache")
+			}
+		}
+		reportServiceMetrics(b, svc, start)
+	})
+}
+
+func reportServiceMetrics(b *testing.B, svc *service.Service, start time.Time) {
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "qps")
+	}
+	st := svc.Stats()
+	if total := st.Hits + st.Misses + st.Dedups; total > 0 {
+		b.ReportMetric(float64(st.Hits+st.Dedups)/float64(total), "hit-ratio")
+	}
+}
+
+// BenchmarkServiceParallel drives the hot path from parallel clients — the
+// contention profile of the steady serving state (mutex + digest memo, no
+// ordering work).
+func BenchmarkServiceParallel(b *testing.B) {
+	a, _ := rcm.Scramble(rcm.Grid3D(20, 12, 4, 1, false), 7)
+	svc := service.New(service.Config{Workers: 4})
+	defer svc.Close()
+	if _, err := svc.Order(context.Background(), a, service.Spec{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Order(context.Background(), a, service.Spec{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if st := svc.Stats(); st.Jobs != 1 {
+		b.Fatalf("parallel hit benchmark ran %d jobs", st.Jobs)
+	}
+}

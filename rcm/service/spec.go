@@ -1,0 +1,167 @@
+package service
+
+import (
+	"repro/rcm"
+)
+
+// Spec is the wire-friendly form of one ordering request's options: every
+// field is a plain string or number a JSON body or a URL query can carry,
+// and zero values mean "use the default" (the server's DefaultSpec first,
+// then the rcm package defaults). The canonical names are the ones the
+// rcm.Parse* functions accept.
+type Spec struct {
+	// Backend selects the implementation:
+	// sequential|algebraic|shared|distributed.
+	Backend string `json:"backend,omitempty"`
+	// Procs is the simulated process count of the distributed backend
+	// (perfect square); Threads the shared-memory / per-process threads.
+	Procs   int `json:"procs,omitempty"`
+	Threads int `json:"threads,omitempty"`
+	// Sort is the distributed frontier-labeling strategy:
+	// full|local|none.
+	Sort string `json:"sort,omitempty"`
+	// Heuristic is the starting-vertex policy:
+	// pseudo-peripheral|bi-criteria|min-degree|first-vertex.
+	Heuristic string `json:"heuristic,omitempty"`
+	// WidthWeight and HeightWeight are the bi-criteria score coefficients
+	// (both zero = rcm defaults; setting either requires the bi-criteria
+	// heuristic, as in rcm.WithBiCriteriaWeights).
+	WidthWeight  int `json:"widthWeight,omitempty"`
+	HeightWeight int `json:"heightWeight,omitempty"`
+	// Direction is the traversal direction policy:
+	// auto|top-down|bottom-up.
+	Direction string `json:"direction,omitempty"`
+	// DirAlpha and DirBeta override the Auto switching thresholds
+	// (zero = Beamer defaults).
+	DirAlpha int `json:"dirAlpha,omitempty"`
+	DirBeta  int `json:"dirBeta,omitempty"`
+	// Start pins the first component's starting vertex (nil = unset;
+	// a pointer because vertex 0 is a valid choice).
+	Start *int `json:"start,omitempty"`
+	// Seed enables the distributed load-balancing random permutation
+	// (§IV-A) when nonzero.
+	Seed int64 `json:"seed,omitempty"`
+	// Hypersparse stores distributed blocks doubly compressed (DCSC).
+	// The booleans are pointers so that an explicit false can override a
+	// server-side true default (nil = unset); see Bool.
+	Hypersparse *bool `json:"hypersparse,omitempty"`
+	// NoReverse returns the plain Cuthill-McKee order (skip the reversal).
+	NoReverse *bool `json:"noReverse,omitempty"`
+	// NoSymmetrize rejects structurally non-symmetric inputs instead of
+	// ordering A ∪ Aᵀ.
+	NoSymmetrize *bool `json:"noSymmetrize,omitempty"`
+}
+
+// Bool is a convenience for the Spec's tri-state boolean fields:
+// Spec{Hypersparse: service.Bool(true)}.
+func Bool(v bool) *bool { return &v }
+
+// Options resolves the spec into rcm functional options. Unknown names are
+// rejected here with the rcm package's descriptive errors; range errors
+// (negative procs, bad start vertex) are left to rcm.Order's validation
+// layer, which sees the matrix.
+func (sp Spec) Options() ([]rcm.Option, error) {
+	var opts []rcm.Option
+	if sp.Backend != "" {
+		b, err := rcm.ParseBackend(sp.Backend)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, rcm.WithBackend(b))
+	}
+	if sp.Procs != 0 {
+		opts = append(opts, rcm.WithProcs(sp.Procs))
+	}
+	if sp.Threads != 0 {
+		opts = append(opts, rcm.WithThreads(sp.Threads))
+	}
+	if sp.Sort != "" {
+		m, err := rcm.ParseSortMode(sp.Sort)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, rcm.WithSortMode(m))
+	}
+	if sp.Heuristic != "" {
+		h, err := rcm.ParseHeuristic(sp.Heuristic)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, rcm.WithStartHeuristic(h))
+	}
+	if sp.WidthWeight != 0 || sp.HeightWeight != 0 {
+		opts = append(opts, rcm.WithBiCriteriaWeights(sp.WidthWeight, sp.HeightWeight))
+	}
+	if sp.Direction != "" {
+		d, err := rcm.ParseDirection(sp.Direction)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, rcm.WithDirection(d))
+	}
+	if sp.DirAlpha != 0 || sp.DirBeta != 0 {
+		opts = append(opts, rcm.WithDirectionThresholds(sp.DirAlpha, sp.DirBeta))
+	}
+	if sp.Start != nil {
+		opts = append(opts, rcm.WithStartVertex(*sp.Start))
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, rcm.WithRandomPermSeed(sp.Seed))
+	}
+	if sp.Hypersparse != nil {
+		opts = append(opts, rcm.WithHypersparse(*sp.Hypersparse))
+	}
+	if sp.NoReverse != nil && *sp.NoReverse {
+		opts = append(opts, rcm.WithoutReverse())
+	}
+	if sp.NoSymmetrize != nil && *sp.NoSymmetrize {
+		opts = append(opts, rcm.WithoutSymmetrize())
+	}
+	return opts, nil
+}
+
+// overlay fills the request spec's unset fields from the base (the server's
+// DefaultSpec), so per-request options always win over server defaults.
+func (base Spec) overlay(req Spec) Spec {
+	out := req
+	if out.Backend == "" {
+		out.Backend = base.Backend
+	}
+	if out.Procs == 0 {
+		out.Procs = base.Procs
+	}
+	if out.Threads == 0 {
+		out.Threads = base.Threads
+	}
+	if out.Sort == "" {
+		out.Sort = base.Sort
+	}
+	if out.Heuristic == "" {
+		out.Heuristic = base.Heuristic
+	}
+	if out.WidthWeight == 0 && out.HeightWeight == 0 {
+		out.WidthWeight, out.HeightWeight = base.WidthWeight, base.HeightWeight
+	}
+	if out.Direction == "" {
+		out.Direction = base.Direction
+	}
+	if out.DirAlpha == 0 && out.DirBeta == 0 {
+		out.DirAlpha, out.DirBeta = base.DirAlpha, base.DirBeta
+	}
+	if out.Start == nil {
+		out.Start = base.Start
+	}
+	if out.Seed == 0 {
+		out.Seed = base.Seed
+	}
+	if out.Hypersparse == nil {
+		out.Hypersparse = base.Hypersparse
+	}
+	if out.NoReverse == nil {
+		out.NoReverse = base.NoReverse
+	}
+	if out.NoSymmetrize == nil {
+		out.NoSymmetrize = base.NoSymmetrize
+	}
+	return out
+}
