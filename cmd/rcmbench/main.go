@@ -17,6 +17,7 @@
 //	rcmbench -exp sizesense          scaling limit vs matrix size (§V-D claim)
 //	rcmbench -exp sloan              RCM vs Sloan envelope quality (extension)
 //	rcmbench -exp ablation-dcsc      CSC vs DCSC block storage (hypersparsity)
+//	rcmbench -exp ablation-components component scheduling on/off, shared engine
 //	rcmbench -exp spy                before/after ASCII spy plots (Fig. 3 plots)
 //	rcmbench -exp service            ordering-service QPS vs cache hit ratio
 //	rcmbench -exp all                everything above
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|service|all)")
+		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-components|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|service|all)")
 		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
 		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
 		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
@@ -175,6 +176,10 @@ func main() {
 	}
 	if run("ablation-dcsc") {
 		bench.RunAblationDCSC(cfg)
+		ran = true
+	}
+	if run("ablation-components") {
+		bench.RunAblationComponents(cfg)
 		ran = true
 	}
 	if run("service") {

@@ -39,6 +39,8 @@ func main() {
 		heur    = flag.String("heuristic", "", "default starting-vertex heuristic")
 		dir     = flag.String("direction", "", "default traversal direction policy")
 		sortM   = flag.String("sort", "", "default distributed frontier sort mode")
+		compS   = flag.Bool("compsched", false, "enable component scheduling by default (small components ordered concurrently)")
+		compT   = flag.Int("compthreshold", 0, "default component-scheduling size threshold (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -52,12 +54,14 @@ func main() {
 		CacheBytes:     cacheBytes,
 		MaxUploadBytes: *maxUpMB << 20,
 		DefaultSpec: service.Spec{
-			Backend:   *backend,
-			Procs:     *procs,
-			Threads:   *threads,
-			Heuristic: *heur,
-			Direction: *dir,
-			Sort:      *sortM,
+			Backend:       *backend,
+			Procs:         *procs,
+			Threads:       *threads,
+			Heuristic:     *heur,
+			Direction:     *dir,
+			Sort:          *sortM,
+			CompSched:     compSched(*compS),
+			CompThreshold: *compT,
 		},
 	})
 
@@ -87,6 +91,15 @@ func main() {
 
 // logRequests is a one-line access log: method, path, status, cache
 // disposition and wall time.
+// compSched maps the boolean flag onto the Spec's tri-state field: false
+// stays nil so per-request compsched=1 still works without a server default.
+func compSched(on bool) *bool {
+	if !on {
+		return nil
+	}
+	return service.Bool(true)
+}
+
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/spmat"
+)
+
+// ComponentAblationRow compares one component-heavy matrix ordered by the
+// shared-memory engine with component scheduling off versus on. Times are
+// wall-clock (the scheduler's win is real concurrency, not modelled BSP
+// time); Identical confirms the byte-identity contract held.
+type ComponentAblationRow struct {
+	Name       string
+	N          int
+	NNZ        int64
+	Components int
+	SecsOff    float64
+	SecsOn     float64
+	Speedup    float64
+	Identical  bool
+}
+
+// componentSuite generates the component-heavy corpus at the given
+// downscale factor: a storm of small components with no engine-sized one,
+// a giant with orbiting debris, and a mixed population around the
+// scheduling threshold.
+func componentSuite(scale int) []struct {
+	name string
+	a    *spmat.CSR
+} {
+	if scale < 1 {
+		scale = 1
+	}
+	return []struct {
+		name string
+		a    *spmat.CSR
+	}{
+		{"smallstorm", graphgen.MultiComponent(0, 6000/scale, 64, 11)},
+		{"giant+debris", graphgen.MultiComponent(260/scale+4, 3000/scale, 64, 12)},
+		{"mixed", graphgen.MultiComponent(180/scale+4, 1200/scale, 256, 13)},
+	}
+}
+
+// RunAblationComponents measures what component scheduling buys on
+// component-heavy inputs: the shared-memory engine with the scheduler off
+// (one level-synchronous run whose cursor walks every component) versus on
+// (small components ordered concurrently as sequential jobs). It also
+// verifies the permutations are identical — the scheduler's defining
+// contract.
+func RunAblationComponents(cfg Config) []ComponentAblationRow {
+	threads := runtime.GOMAXPROCS(0)
+	var rows []ComponentAblationRow
+	for _, e := range componentSuite(cfg.scale()) {
+		if !cfg.wants(e.name) {
+			continue
+		}
+		a := e.a
+		opt := cfg.optionsFor(a)
+		shared := func(sub *spmat.CSR, o core.Options) *core.Ordering {
+			return core.SharedOpt(sub, threads, o)
+		}
+
+		t0 := time.Now()
+		off := core.SharedOpt(a, threads, opt)
+		offSecs := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		on, st := core.ScheduledOrder(a, core.ScheduleOptions{
+			Workers: threads,
+			Options: opt,
+			Big:     shared,
+		})
+		onSecs := time.Since(t0).Seconds()
+
+		identical := len(off.Perm) == len(on.Perm)
+		for i := range off.Perm {
+			if off.Perm[i] != on.Perm[i] {
+				identical = false
+				break
+			}
+		}
+		speedup := 0.0
+		if onSecs > 0 {
+			speedup = offSecs / onSecs
+		}
+		rows = append(rows, ComponentAblationRow{
+			Name:       e.name,
+			N:          a.N,
+			NNZ:        int64(a.NNZ()),
+			Components: st.Components,
+			SecsOff:    offSecs,
+			SecsOn:     onSecs,
+			Speedup:    speedup,
+			Identical:  identical,
+		})
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Ablation: component scheduling, shared backend at %d threads (wall-clock seconds)\n", threads)
+	fmt.Fprintf(w, "%-14s %9s %10s %9s | %9s %9s %8s %9s\n", "name", "n", "nnz", "comps", "s-off", "s-on", "speedup", "identical")
+	hr(w, 92)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %10d %9d | %9.4f %9.4f %7.2fx %9t\n",
+			r.Name, r.N, r.NNZ, r.Components, r.SecsOff, r.SecsOn, r.Speedup, r.Identical)
+	}
+	fmt.Fprintln(w)
+	return rows
+}

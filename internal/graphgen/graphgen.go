@@ -254,6 +254,47 @@ func Disconnected(parts ...*spmat.CSR) *spmat.CSR {
 	return spmat.FromCoords(n, entries, false)
 }
 
+// MultiComponent returns a component-heavy graph: one giant Grid2D
+// component of giantSide×giantSide vertices (skipped when giantSide < 2)
+// plus smallCount small components of random shape (paths, stars, complete
+// graphs, and small grids) with 1..smallMax vertices each, scrambled by a
+// random symmetric permutation so component vertex ids interleave instead
+// of forming contiguous blocks. It is the stress case for the
+// component-aware scheduler: many independent small jobs around at most one
+// engine-sized component.
+func MultiComponent(giantSide, smallCount, smallMax int, seed int64) *spmat.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	if smallMax < 1 {
+		smallMax = 1
+	}
+	var parts []*spmat.CSR
+	if giantSide >= 2 {
+		parts = append(parts, Grid2D(giantSide, giantSide))
+	}
+	for i := 0; i < smallCount; i++ {
+		sz := 1 + rng.Intn(smallMax)
+		switch rng.Intn(4) {
+		case 0:
+			parts = append(parts, Path(sz))
+		case 1:
+			parts = append(parts, Star(sz))
+		case 2:
+			if sz > 12 {
+				sz = 12 // keep complete graphs sparse-friendly
+			}
+			parts = append(parts, Complete(sz))
+		default:
+			side := 1
+			for (side+1)*(side+1) <= sz {
+				side++
+			}
+			parts = append(parts, Grid2D(side, side))
+		}
+	}
+	s, _ := Scramble(Disconnected(parts...), rng.Int63())
+	return s
+}
+
 // RMAT returns a symmetrized RMAT power-law graph with 2^scale vertices and
 // about edgeFactor·2^scale edges (Graph500 parameters a=0.57, b=c=0.19),
 // used for stress-testing the ordering pipeline on skewed degree

@@ -364,6 +364,33 @@ func Collect(stats []*Stats) Breakdown {
 	return b
 }
 
+// Merge combines the breakdowns of runs executed one after another on the
+// same machine (the component scheduler's per-component distributed runs):
+// clocks and per-phase times add, traffic and work add, level and sweep
+// counts add (each run expands its own levels), and Ranks is the maximum —
+// the runs share one process grid, they do not widen it.
+func Merge(parts []Breakdown) Breakdown {
+	var b Breakdown
+	for _, p := range parts {
+		if p.Ranks > b.Ranks {
+			b.Ranks = p.Ranks
+		}
+		b.ClockNs += p.ClockNs
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			b.CompNs[ph] += p.CompNs[ph]
+			b.CommNs[ph] += p.CommNs[ph]
+		}
+		b.Msgs += p.Msgs
+		b.Words += p.Words
+		b.Work += p.Work
+		b.TopDownLevels += p.TopDownLevels
+		b.BottomUpLevels += p.BottomUpLevels
+		b.PeripheralSweeps += p.PeripheralSweeps
+		b.CandidateSweeps += p.CandidateSweeps
+	}
+	return b
+}
+
 // PhaseNs returns the mean total (comp+comm) time of one phase bucket.
 func (b *Breakdown) PhaseNs(p Phase) float64 { return b.CompNs[p] + b.CommNs[p] }
 

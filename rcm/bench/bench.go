@@ -166,6 +166,11 @@ func RunAblationLocalFormat(cfg Config) { ibench.RunAblationLocalFormat(cfg.inte
 // as the process grid grows and local blocks turn hypersparse.
 func RunAblationDCSC(cfg Config) { ibench.RunAblationDCSC(cfg.internal()) }
 
+// RunAblationComponents measures component scheduling on component-heavy
+// inputs: the shared-memory engine with the scheduler off versus on
+// (wall-clock), verifying the permutations stay byte-identical.
+func RunAblationComponents(cfg Config) { ibench.RunAblationComponents(cfg.internal()) }
+
 // RunQuality measures ordering quality (bandwidth, envelope) as a function
 // of concurrency, checking the paper's §I claim that parallel RCM need not
 // degrade quality.

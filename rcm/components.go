@@ -1,0 +1,122 @@
+package rcm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spmat"
+	"repro/internal/tally"
+)
+
+// Components is the connected-component structure of a matrix's graph.
+type Components struct {
+	// Count is the number of connected components.
+	Count int
+	// Label holds the component id of every vertex. Components are
+	// numbered in order of their smallest vertex id, so the labeling is
+	// deterministic and independent of the worker count.
+	Label []int
+	// Sizes holds the vertex count of every component, indexed by label.
+	Sizes []int
+}
+
+// ConnectedComponents computes the connected components of the matrix's
+// graph with a parallel union-find pass over the sparsity pattern. The
+// pattern is treated as undirected (structurally non-symmetric matrices are
+// analyzed as A ∪ Aᵀ, matching Order's view of the graph; WithoutSymmetrize
+// is irrelevant here because connectivity is symmetric by definition).
+// WithThreads sets the worker count; the output is identical for every
+// worker count. An empty matrix has zero components.
+func ConnectedComponents(a *Matrix, opts ...Option) (*Components, error) {
+	if a == nil || a.csr == nil {
+		return nil, fmt.Errorf("rcm: nil matrix")
+	}
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	g := a.csr
+	if !g.IsSymmetricPattern() {
+		g = g.Symmetrize()
+	}
+	label, count := g.ParallelComponents(c.poolWorkers())
+	return &Components{
+		Count: count,
+		Label: label,
+		Sizes: spmat.ComponentSizes(label, count),
+	}, nil
+}
+
+// scheduled reports whether this run takes the component scheduler: enabled
+// by WithComponentScheduling, except for the distributed configurations
+// whose output depends on global vertex numbering (SortLocal/SortNone
+// labeling and the random load-balancing permutation), which fall back to
+// the unscheduled engine so the permutation never changes.
+func (c config) scheduled() bool {
+	if !c.compSched {
+		return false
+	}
+	if c.backend == Distributed && (c.sortMode != SortFull || c.seed != 0) {
+		return false
+	}
+	return true
+}
+
+// runScheduled executes the component-scheduled ordering for the resolved
+// configuration and fills the Result. copt is the validated engine option
+// set produced by coreOptions.
+// poolWorkers resolves the worker count for the component passes: an
+// explicit WithThreads wins; otherwise 0 lets the pool size to GOMAXPROCS.
+func (c config) poolWorkers() int {
+	if c.threadsSet {
+		return c.threads
+	}
+	return 0
+}
+
+func (c config) runScheduled(g *spmat.CSR, copt core.Options, res *Result) {
+	so := core.ScheduleOptions{
+		Threshold: c.compThresh,
+		Workers:   c.poolWorkers(),
+		Options:   copt,
+	}
+	var bds []tally.Breakdown
+	switch c.backend {
+	case Sequential:
+		// ScheduleOptions.Big defaults to the sequential engine.
+	case Algebraic:
+		so.Big = core.AlgebraicOpt
+	case Shared:
+		so.Big = func(sub *spmat.CSR, o core.Options) *core.Ordering {
+			return core.SharedOpt(sub, c.threads, o)
+		}
+		res.Threads = c.threads
+	case Distributed:
+		model := tally.Edison().WithThreads(c.threads)
+		so.Big = func(sub *spmat.CSR, o core.Options) *core.Ordering {
+			d := core.Distributed(sub, core.DistOptions{
+				Procs:       c.procs,
+				Model:       model,
+				SortMode:    core.SortMode(c.sortMode),
+				Hypersparse: c.hypersparse,
+				Options:     o,
+			})
+			bds = append(bds, d.Breakdown)
+			return &d.Ordering
+		}
+		res.Procs, res.Threads = c.procs, model.Threads
+	}
+	ord, st := core.ScheduledOrder(g, so)
+	fill(res, ord)
+	res.ComponentStats = &ComponentStats{
+		Count:        st.Components,
+		LargestSize:  st.LargestSize,
+		SmallestSize: st.SmallestSize,
+		Batched:      st.Batched,
+		Direct:       st.Direct,
+		Threshold:    st.Threshold,
+	}
+	if c.backend == Distributed {
+		res.Modeled = newBreakdown(tally.Merge(bds))
+	}
+}

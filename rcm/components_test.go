@@ -1,0 +1,355 @@
+package rcm_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/rcm"
+	"repro/rcm/rcmtest"
+)
+
+// hashPerm is the FNV-1a permutation hash the golden tests pin (same
+// construction as the internal golden suite).
+func hashPerm(p []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range p {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// isolated returns an n-vertex matrix with no edges at all.
+func isolated(n int) *rcm.Matrix {
+	m, err := rcm.FromEdges(n, nil, true)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// disconnectedCorpus is the fixed multi-component corpus of the golden
+// identity tests: interleaved ids, no giant, giant + singleton dust, and
+// exact-size blocks for threshold boundary checks.
+func disconnectedCorpus() []struct {
+	name string
+	m    *rcm.Matrix
+} {
+	return []struct {
+		name string
+		m    *rcm.Matrix
+	}{
+		{"multi", rcm.MultiComponent(12, 40, 17, 1)},
+		{"nogiant", rcm.MultiComponent(0, 50, 9, 2)},
+		{"giant+singletons", rcm.Disconnected(rcm.Grid2D(12, 12), isolated(30))},
+		{"blocks", rcm.Disconnected(rcm.Path(8), rcm.Star(8), rcm.Path(16), rcm.Complete(5))},
+	}
+}
+
+func TestConnectedComponentsPublic(t *testing.T) {
+	m := rcm.Disconnected(rcm.Path(4), rcm.Star(3), isolated(2))
+	cc, err := rcm.ConnectedComponents(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Count != 4 {
+		t.Fatalf("Count = %d, want 4 (path, star, 2 singletons)", cc.Count)
+	}
+	if cc.Count != m.Components() {
+		t.Fatalf("ConnectedComponents finds %d, Matrix.Components %d", cc.Count, m.Components())
+	}
+	if len(cc.Label) != m.N() {
+		t.Fatalf("Label has %d entries, matrix %d vertices", len(cc.Label), m.N())
+	}
+	if !reflect.DeepEqual(cc.Sizes, []int{4, 3, 1, 1}) {
+		t.Fatalf("Sizes = %v, want [4 3 1 1]", cc.Sizes)
+	}
+	// Labels must be numbered by smallest vertex id and partition the sizes.
+	counts := make([]int, cc.Count)
+	seen := -1
+	for _, c := range cc.Label {
+		if c > seen+1 {
+			t.Fatalf("component %d appears before %d was introduced", c, seen+1)
+		}
+		if c > seen {
+			seen = c
+		}
+		counts[c]++
+	}
+	if !reflect.DeepEqual(counts, cc.Sizes) {
+		t.Fatalf("label counts %v disagree with Sizes %v", counts, cc.Sizes)
+	}
+
+	// Worker count must not change the labeling.
+	for _, threads := range []int{1, 2, 7} {
+		cct, err := rcm.ConnectedComponents(m, rcm.WithThreads(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cct.Label, cc.Label) {
+			t.Fatalf("threads=%d changes the labeling", threads)
+		}
+	}
+
+	// Empty matrix: zero components, no error (unlike Order).
+	e, err := rcm.ConnectedComponents(isolated(0))
+	if err != nil || e.Count != 0 || len(e.Label) != 0 || len(e.Sizes) != 0 {
+		t.Fatalf("empty matrix: %+v, err %v", e, err)
+	}
+
+	// Nil matrix: descriptive error.
+	if _, err := rcm.ConnectedComponents(nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+
+	// Non-symmetric pattern: analyzed as A ∪ Aᵀ, never an error.
+	ns, err := rcm.FromEdges(4, []rcm.Edge{{I: 0, J: 1}, {I: 2, J: 3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nscc, err := rcm.ConnectedComponents(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nscc.Count != 2 {
+		t.Fatalf("non-symmetric input: %d components, want 2", nscc.Count)
+	}
+}
+
+// TestComponentSchedulingByteIdentity is the tentpole contract: with
+// component scheduling enabled, every backend × process count × sort mode
+// produces the byte-identical permutation it produces with scheduling
+// disabled, on every corpus entry, at every threshold. The sequential
+// permutation hashes are additionally pinned as golden values so a
+// regression in the shared baseline cannot hide an identity regression.
+func TestComponentSchedulingByteIdentity(t *testing.T) {
+	golden := map[string]uint64{
+		"multi":            0x6b96267a0c65be7d,
+		"nogiant":          0x178b45d2071a5ab2,
+		"giant+singletons": 0xef4a28e878ec5104,
+		"blocks":           0xb6f3a7ee7ed5a341,
+	}
+	configs := []struct {
+		name string
+		opts []rcm.Option
+	}{
+		{"sequential", nil},
+		{"algebraic", []rcm.Option{rcm.WithBackend(rcm.Algebraic)}},
+		{"shared", []rcm.Option{rcm.WithBackend(rcm.Shared), rcm.WithThreads(3)}},
+	}
+	for _, procs := range []int{1, 4, 9} {
+		for _, sort := range []struct {
+			name string
+			mode rcm.SortMode
+		}{{"full", rcm.SortFull}, {"local", rcm.SortLocal}, {"none", rcm.SortNone}} {
+			configs = append(configs, struct {
+				name string
+				opts []rcm.Option
+			}{
+				fmt.Sprintf("distributed/p%d/%s", procs, sort.name),
+				[]rcm.Option{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(procs), rcm.WithSortMode(sort.mode)},
+			})
+		}
+	}
+	for _, e := range disconnectedCorpus() {
+		ref, err := rcm.Order(e.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := hashPerm(ref.Perm); h != golden[e.name] {
+			t.Errorf("%s: sequential golden hash %#x, want %#x", e.name, h, golden[e.name])
+		}
+		for _, cfg := range configs {
+			off, err := rcm.Order(e.m, cfg.opts...)
+			if err != nil {
+				t.Fatalf("%s/%s off: %v", e.name, cfg.name, err)
+			}
+			for _, thr := range []int{0, 1, 12, 1 << 20} {
+				on, err := rcm.Order(e.m, append(append([]rcm.Option{}, cfg.opts...), rcm.WithComponentScheduling(thr))...)
+				if err != nil {
+					t.Fatalf("%s/%s thr=%d on: %v", e.name, cfg.name, thr, err)
+				}
+				if !reflect.DeepEqual(on.Perm, off.Perm) {
+					t.Fatalf("%s/%s thr=%d: scheduling changed the permutation", e.name, cfg.name, thr)
+				}
+				rcmtest.CheckResult(t, e.m, on)
+			}
+		}
+	}
+}
+
+// TestComponentSchedulingEdgeCases covers the degenerate inputs: all
+// vertices isolated, a single vertex, one giant with singleton dust, and
+// exact threshold boundaries on known component sizes.
+func TestComponentSchedulingEdgeCases(t *testing.T) {
+	t.Run("all-isolated", func(t *testing.T) {
+		m := isolated(25)
+		off, err := rcm.Order(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := rcm.Order(m, rcm.WithComponentScheduling(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(on.Perm, off.Perm) {
+			t.Fatal("isolated vertices: scheduling changed the permutation")
+		}
+		if on.ComponentStats == nil || on.ComponentStats.Count != 25 || on.ComponentStats.Batched != 25 {
+			t.Fatalf("isolated vertices: stats %+v", on.ComponentStats)
+		}
+		rcmtest.CheckResult(t, m, on)
+	})
+	t.Run("single-vertex", func(t *testing.T) {
+		on, err := rcm.Order(isolated(1), rcm.WithComponentScheduling(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(on.Perm) != 1 || on.Perm[0] != 0 {
+			t.Fatalf("single vertex perm = %v", on.Perm)
+		}
+		if on.ComponentStats == nil || on.ComponentStats.Count != 1 || on.ComponentStats.Direct != 1 {
+			t.Fatalf("single vertex stats %+v", on.ComponentStats)
+		}
+	})
+	t.Run("threshold-boundary", func(t *testing.T) {
+		// Component sizes: 8 (path), 8 (star), 16 (path), 5 (complete).
+		m := rcm.Disconnected(rcm.Path(8), rcm.Star(8), rcm.Path(16), rcm.Complete(5))
+		for _, tc := range []struct {
+			thr             int
+			batched, direct int
+		}{
+			{1, 0, 4},       // nothing below size 1
+			{5, 0, 4},       // size-5 component is exactly at the cutoff: direct
+			{6, 1, 3},       // size 5 < 6: batched
+			{8, 1, 3},       // size-8 components exactly at the cutoff: direct
+			{9, 3, 1},       // both 8s and the 5 batched
+			{16, 3, 1},      // 16 exactly at the cutoff: direct
+			{17, 4, 0},      // everything batched
+			{1 << 20, 4, 0}, // huge threshold: everything batched
+		} {
+			res, err := rcm.Order(m, rcm.WithComponentScheduling(tc.thr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.ComponentStats
+			if st == nil || st.Batched != tc.batched || st.Direct != tc.direct {
+				t.Fatalf("threshold %d: stats %+v, want batched=%d direct=%d", tc.thr, st, tc.batched, tc.direct)
+			}
+			if st.LargestSize != 16 || st.SmallestSize != 5 {
+				t.Fatalf("threshold %d: size bounds %d/%d, want 16/5", tc.thr, st.LargestSize, st.SmallestSize)
+			}
+		}
+	})
+}
+
+// TestComponentSchedulingPinnedStart is the regression test for the pinned
+// start-vertex semantics: a start vertex inside a small component in a
+// non-first component must still be honored under the scheduler — its
+// component is ordered first, exactly as the engines' cursor does.
+func TestComponentSchedulingPinnedStart(t *testing.T) {
+	// Vertex ids: path 0..7, star 8..15, path 16..31, complete 32..36.
+	m := rcm.Disconnected(rcm.Path(8), rcm.Star(8), rcm.Path(16), rcm.Complete(5))
+	for _, start := range []int{0, 9, 20, 33, 36} {
+		off, err := rcm.Order(m, rcm.WithStartVertex(start))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, thr := range []int{1, 9, 1 << 20} {
+			on, err := rcm.Order(m, rcm.WithStartVertex(start), rcm.WithComponentScheduling(thr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on.Perm, off.Perm) {
+				t.Fatalf("start %d thr %d: scheduling changed the pinned-start permutation", start, thr)
+			}
+			rcmtest.CheckResult(t, m, on)
+		}
+		// The pinned component must come first: the last position of the
+		// (reversed) permutation is the start's BFS seed region.
+		cc, err := rcm.ConnectedComponents(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cc.Label[off.Perm[len(off.Perm)-1]]; got != cc.Label[start] {
+			t.Fatalf("start %d: first-ordered component is %d, want %d", start, got, cc.Label[start])
+		}
+	}
+}
+
+// TestComponentSchedulingDistributedFallback pins the facade gate: the
+// distributed configurations whose output depends on global numbering
+// (SortLocal, SortNone, the random load-balancing permutation) bypass the
+// scheduler — same permutation, no ComponentStats.
+func TestComponentSchedulingDistributedFallback(t *testing.T) {
+	m := rcm.MultiComponent(8, 20, 9, 4)
+	for _, tc := range []struct {
+		name string
+		opts []rcm.Option
+	}{
+		{"sortlocal", []rcm.Option{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithSortMode(rcm.SortLocal)}},
+		{"sortnone", []rcm.Option{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithSortMode(rcm.SortNone)}},
+		{"randperm", []rcm.Option{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithRandomPermSeed(7)}},
+	} {
+		off, err := rcm.Order(m, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := rcm.Order(m, append(append([]rcm.Option{}, tc.opts...), rcm.WithComponentScheduling(0))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(on.Perm, off.Perm) {
+			t.Fatalf("%s: scheduling request changed the permutation despite the fallback", tc.name)
+		}
+		if on.ComponentStats != nil {
+			t.Fatalf("%s: ComponentStats present on a fallback run: %+v", tc.name, on.ComponentStats)
+		}
+	}
+	// SortFull distributed runs DO schedule.
+	on, err := rcm.Order(m, rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithComponentScheduling(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.ComponentStats == nil {
+		t.Fatal("sortfull distributed run did not schedule")
+	}
+	if on.Modeled == nil {
+		t.Fatal("scheduled distributed run lost its modelled breakdown")
+	}
+}
+
+// TestOptionsFingerprintComponentScheduling pins the cache-key behaviour:
+// enabling scheduling or changing the threshold changes the fingerprint
+// (the cached Result carries ComponentStats), and the fingerprint version
+// tag moved to rcmopt/2.
+func TestOptionsFingerprintComponentScheduling(t *testing.T) {
+	base := rcm.OptionsFingerprint()
+	if !strings.HasPrefix(base, "rcmopt/2 ") {
+		t.Fatalf("fingerprint version tag: %q", base)
+	}
+	on := rcm.OptionsFingerprint(rcm.WithComponentScheduling(0))
+	if on == base {
+		t.Fatal("enabling component scheduling does not change the fingerprint")
+	}
+	thr := rcm.OptionsFingerprint(rcm.WithComponentScheduling(512))
+	if thr == on {
+		t.Fatal("changing the threshold does not change the fingerprint")
+	}
+	if again := rcm.OptionsFingerprint(rcm.WithComponentScheduling(512)); again != thr {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}
+
+// TestDefaultComponentThresholdExported pins the re-exported constant.
+func TestDefaultComponentThresholdExported(t *testing.T) {
+	if rcm.DefaultComponentThreshold <= 0 {
+		t.Fatalf("DefaultComponentThreshold = %d", rcm.DefaultComponentThreshold)
+	}
+}

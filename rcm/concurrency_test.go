@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/rcm"
+	"repro/rcm/rcmtest"
 )
 
 // TestConcurrentOrderSharedMatrix is the facade's goroutine-safety
@@ -16,11 +17,15 @@ import (
 // lazily memoized Digest is hammered alongside, since the service computes
 // it on the request path. Run under -race in CI.
 func TestConcurrentOrderSharedMatrix(t *testing.T) {
-	a, _ := rcm.Scramble(rcm.Grid3D(8, 7, 5, 1, true), 4)
+	// Disconnected on purpose: the component-scheduling variants below then
+	// exercise the scheduler's own worker pool under -race, not just the
+	// degenerate single-component path.
+	a, _ := rcm.Scramble(rcm.Disconnected(rcm.Grid3D(8, 7, 5, 1, true), rcm.Path(40), rcm.Star(25)), 4)
 	ref, err := rcm.Order(a)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rcmtest.CheckResult(t, a, ref)
 	digest := a.Digest()
 
 	backends := [][]rcm.Option{
@@ -28,6 +33,8 @@ func TestConcurrentOrderSharedMatrix(t *testing.T) {
 		{rcm.WithBackend(rcm.Algebraic)},
 		{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4)},
 		{rcm.WithBackend(rcm.Distributed), rcm.WithProcs(4), rcm.WithThreads(2)},
+		{rcm.WithComponentScheduling(0)},
+		{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4), rcm.WithComponentScheduling(16)},
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {

@@ -70,10 +70,11 @@ func OptionsFingerprint(opts ...Option) string {
 		o(&c)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "rcmopt/1 backend=%v sort=%v heuristic=%v direction=%v", c.backend, c.sortMode, c.heuristic, c.direction)
+	fmt.Fprintf(&sb, "rcmopt/2 backend=%v sort=%v heuristic=%v direction=%v", c.backend, c.sortMode, c.heuristic, c.direction)
 	fmt.Fprintf(&sb, " dir=%d/%d", c.dirAlpha, c.dirBeta)
 	fmt.Fprintf(&sb, " bc=%d/%d/%t", c.bcWidthW, c.bcHeightW, c.bcSet)
 	fmt.Fprintf(&sb, " start=%d procs=%d threads=%d seed=%d", c.start, c.procs, c.threads, c.seed)
 	fmt.Fprintf(&sb, " hyper=%t norev=%t sym=%t", c.hypersparse, c.noReverse, c.symmetrize)
+	fmt.Fprintf(&sb, " comp=%t/%d", c.compSched, c.compThresh)
 	return sb.String()
 }

@@ -57,6 +57,15 @@ func Disconnected(parts ...*Matrix) *Matrix {
 	return wrap(graphgen.Disconnected(csrs...))
 }
 
+// MultiComponent returns a component-heavy graph: one giant
+// giantSide×giantSide grid component (skipped when giantSide < 2) plus
+// smallCount small components of random shape and size 1..smallMax, with
+// the vertex ids scrambled so components interleave. The stress case for
+// WithComponentScheduling.
+func MultiComponent(giantSide, smallCount, smallMax int, seed int64) *Matrix {
+	return wrap(graphgen.MultiComponent(giantSide, smallCount, smallMax, seed))
+}
+
 // RMAT returns an RMAT power-law graph (2^scale vertices, ~edgeFactor
 // edges per vertex), the scale-free stress case.
 func RMAT(scale, edgeFactor int, seed int64) *Matrix {

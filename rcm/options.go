@@ -1,6 +1,10 @@
 package rcm
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Backend selects which of the four interchangeable RCM implementations
 // runs the ordering. All four obey the same deterministic contract and
@@ -225,11 +229,14 @@ type config struct {
 	bcSet       bool
 	start       int // -1: unset
 	threads     int
+	threadsSet  bool
 	procs       int
 	seed        int64
 	hypersparse bool
 	noReverse   bool
 	symmetrize  bool
+	compSched   bool
+	compThresh  int // 0: DefaultComponentThreshold
 }
 
 func defaultConfig() config {
@@ -287,9 +294,10 @@ func WithDirectionThresholds(alpha, beta int) Option {
 func WithStartVertex(v int) Option { return func(c *config) { c.start = v } }
 
 // WithThreads sets the thread count: the worker goroutines of the Shared
-// backend, or the per-process OpenMP-style threads of the Distributed
-// machine model (cores = procs × threads).
-func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
+// backend, the per-process OpenMP-style threads of the Distributed machine
+// model (cores = procs × threads), and the worker pool of the component
+// scheduler and ConnectedComponents (which otherwise default to GOMAXPROCS).
+func WithThreads(t int) Option { return func(c *config) { c.threads, c.threadsSet = t, true } }
 
 // WithProcs sets the number of simulated MPI processes for the Distributed
 // backend. Like the paper's implementation, it must be a perfect square.
@@ -314,3 +322,28 @@ func WithoutReverse() Option { return func(c *config) { c.noReverse = true } }
 // non-symmetric inputs. Order then returns an error for such matrices
 // instead of ordering the pattern of A ∪ Aᵀ.
 func WithoutSymmetrize() Option { return func(c *config) { c.symmetrize = false } }
+
+// WithComponentScheduling enables the component-aware scheduler: connected
+// components are detected up front with a parallel union-find pass, those
+// smaller than threshold are extracted and ordered concurrently as
+// independent sequential jobs across the worker pool, the rest go through
+// the selected backend, and the per-component orderings are stitched back
+// in the deterministic processing order — byte-identical output to the
+// unscheduled run, but component-heavy inputs (multi-body meshes,
+// block-diagonal systems) no longer serialize behind the per-component
+// cursor. threshold == 0 selects DefaultComponentThreshold; negative
+// thresholds are rejected by Order.
+//
+// The scheduler steps aside — plain unscheduled ordering runs — for the
+// distributed configurations whose output is not relabeling-equivariant:
+// WithSortMode(SortLocal|SortNone) and WithRandomPermSeed, where labels
+// legitimately depend on global vertex numbering. Result.ComponentStats
+// reports what the scheduler did.
+func WithComponentScheduling(threshold int) Option {
+	return func(c *config) { c.compSched, c.compThresh = true, threshold }
+}
+
+// DefaultComponentThreshold is the component size at and above which the
+// scheduler routes a component through the full selected backend; smaller
+// components are batched across the worker pool.
+const DefaultComponentThreshold = core.DefaultComponentThreshold

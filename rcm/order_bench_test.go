@@ -56,3 +56,44 @@ func BenchmarkOrder(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOrderComponents measures Order on the component-heavy generator
+// suite with the shared backend, scheduling off versus on. The scheduler's
+// acceptance bar is a ≥1.5× speedup on these inputs (see the
+// ablation-components experiment for the standalone measurement); here the
+// same comparison rides the standard benchmark harness so CI's perf
+// trajectory tracks it.
+func BenchmarkOrderComponents(b *testing.B) {
+	suites := []struct {
+		name string
+		m    *rcm.Matrix
+	}{
+		{"smallstorm", rcm.MultiComponent(0, 1500, 64, 11)},
+		{"giant+debris", rcm.MultiComponent(80, 800, 64, 12)},
+	}
+	modes := []struct {
+		name string
+		opts []rcm.Option
+	}{
+		{"sched=off", []rcm.Option{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4)}},
+		{"sched=on", []rcm.Option{rcm.WithBackend(rcm.Shared), rcm.WithThreads(4), rcm.WithComponentScheduling(0)}},
+	}
+	for _, s := range suites {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%s", s.name, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var last *rcm.Result
+				for i := 0; i < b.N; i++ {
+					res, err := rcm.Order(s.m, mode.opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if last != nil {
+					b.ReportMetric(float64(last.Components), "components")
+				}
+			})
+		}
+	}
+}

@@ -30,8 +30,30 @@ type Result struct {
 	// sequential backends; cores = Procs × Threads for Distributed).
 	Procs, Threads int
 	// Modeled is the modelled BSP time breakdown of the simulated run.
-	// Non-nil only for the Distributed backend.
+	// Non-nil only for the Distributed backend. Under component scheduling
+	// it is the merged breakdown of the big-component runs (small
+	// components run as plain sequential jobs, which the BSP model does
+	// not meter).
 	Modeled *Breakdown
+	// ComponentStats reports what the component scheduler did. Non-nil
+	// only when WithComponentScheduling ran (including the degenerate
+	// connected-graph case).
+	ComponentStats *ComponentStats
+}
+
+// ComponentStats summarizes the component structure the scheduler found and
+// how it dispatched the components.
+type ComponentStats struct {
+	// Count is the number of connected components.
+	Count int
+	// LargestSize and SmallestSize bound the component sizes (both zero
+	// for an empty graph).
+	LargestSize, SmallestSize int
+	// Batched components were ordered as concurrent sequential jobs on the
+	// worker pool; Direct ones went through the selected backend.
+	Batched, Direct int
+	// Threshold is the resolved size threshold separating the two.
+	Threshold int
 }
 
 // Order computes the Reverse Cuthill-McKee ordering of a. By default it
@@ -91,28 +113,33 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 	}
 
 	res := &Result{Backend: c.backend, Procs: 1, Threads: 1}
-	switch c.backend {
-	case Sequential:
-		fill(res, core.SequentialOpt(g, copt))
-	case Algebraic:
-		fill(res, core.AlgebraicOpt(g, copt))
-	case Shared:
-		fill(res, core.SharedOpt(g, c.threads, copt))
-		res.Threads = c.threads
-	case Distributed:
-		d := core.Distributed(g, core.DistOptions{
-			Procs:          c.procs,
-			Model:          tally.Edison().WithThreads(c.threads),
-			SortMode:       core.SortMode(c.sortMode),
-			RandomPermSeed: c.seed,
-			Hypersparse:    c.hypersparse,
-			Options:        copt,
-		})
-		fill(res, &d.Ordering)
-		res.Procs, res.Threads = d.Procs, d.Threads
-		res.Modeled = newBreakdown(d.Breakdown)
+	switch {
+	case c.scheduled():
+		c.runScheduled(g, copt, res)
 	default:
-		return nil, nil, fmt.Errorf("rcm: unknown backend %v", c.backend)
+		switch c.backend {
+		case Sequential:
+			fill(res, core.SequentialOpt(g, copt))
+		case Algebraic:
+			fill(res, core.AlgebraicOpt(g, copt))
+		case Shared:
+			fill(res, core.SharedOpt(g, c.threads, copt))
+			res.Threads = c.threads
+		case Distributed:
+			d := core.Distributed(g, core.DistOptions{
+				Procs:          c.procs,
+				Model:          tally.Edison().WithThreads(c.threads),
+				SortMode:       core.SortMode(c.sortMode),
+				RandomPermSeed: c.seed,
+				Hypersparse:    c.hypersparse,
+				Options:        copt,
+			})
+			fill(res, &d.Ordering)
+			res.Procs, res.Threads = d.Procs, d.Threads
+			res.Modeled = newBreakdown(d.Breakdown)
+		default:
+			return nil, nil, fmt.Errorf("rcm: unknown backend %v", c.backend)
+		}
 	}
 
 	res.Before = a.Stats()
@@ -163,6 +190,9 @@ func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
 	}
 	if c.dirAlpha < 0 || c.dirBeta < 0 {
 		return core.Options{}, fmt.Errorf("rcm: direction thresholds must be >= 0, got alpha=%d beta=%d", c.dirAlpha, c.dirBeta)
+	}
+	if c.compThresh < 0 {
+		return core.Options{}, fmt.Errorf("rcm: component threshold must be >= 0 (0 selects the default %d), got %d", DefaultComponentThreshold, c.compThresh)
 	}
 	switch c.direction {
 	case Auto, TopDown, BottomUp:

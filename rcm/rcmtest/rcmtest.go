@@ -1,0 +1,65 @@
+// Package rcmtest holds the property checks shared by the rcm test suites:
+// golden tests, fuzz targets, and concurrency tests all validate orderings
+// through CheckResult instead of re-implementing the invariants.
+package rcmtest
+
+import (
+	"testing"
+
+	"repro/rcm"
+)
+
+// CheckResult asserts the structural invariants every ordering Result must
+// satisfy for the matrix it was computed from:
+//
+//   - Perm is a valid permutation of 0..N-1.
+//   - Result.Components matches an independent ConnectedComponents run.
+//   - PseudoDiameter is non-negative and zero for an empty permutation.
+//
+// The bandwidth property is advisory: RCM does not guarantee a reduction on
+// every input (a matrix that is already optimally banded, or pathological
+// tie patterns, can come out wider), so an increase is logged rather than
+// failed — fuzzing must not flag legitimate behaviour.
+func CheckResult(t testing.TB, m *rcm.Matrix, res *rcm.Result) {
+	t.Helper()
+	if m == nil || res == nil {
+		t.Fatalf("rcmtest: nil matrix or result (matrix=%v result=%v)", m != nil, res != nil)
+	}
+	if len(res.Perm) != m.N() {
+		t.Fatalf("rcmtest: permutation length %d, matrix has %d rows", len(res.Perm), m.N())
+	}
+	if !rcm.IsPermutation(res.Perm) {
+		t.Fatalf("rcmtest: Perm is not a permutation of 0..%d: %v", m.N()-1, bounded(res.Perm))
+	}
+	cc, err := rcm.ConnectedComponents(m)
+	if err != nil {
+		t.Fatalf("rcmtest: ConnectedComponents failed: %v", err)
+	}
+	if res.Components != cc.Count {
+		t.Errorf("rcmtest: result reports %d components, ConnectedComponents finds %d", res.Components, cc.Count)
+	}
+	if res.ComponentStats != nil {
+		st := res.ComponentStats
+		if st.Count != cc.Count {
+			t.Errorf("rcmtest: ComponentStats.Count = %d, ConnectedComponents finds %d", st.Count, cc.Count)
+		}
+		if st.Batched+st.Direct != st.Count && st.Count > 0 {
+			t.Errorf("rcmtest: ComponentStats batched %d + direct %d != count %d", st.Batched, st.Direct, st.Count)
+		}
+	}
+	if res.PseudoDiameter < 0 {
+		t.Errorf("rcmtest: negative pseudo-diameter %d", res.PseudoDiameter)
+	}
+	if res.After.Bandwidth > res.Before.Bandwidth {
+		t.Logf("rcmtest: bandwidth increased %d -> %d (legal but notable)",
+			res.Before.Bandwidth, res.After.Bandwidth)
+	}
+}
+
+// bounded truncates long permutations in failure messages.
+func bounded(p []int) []int {
+	if len(p) > 32 {
+		return p[:32]
+	}
+	return p
+}

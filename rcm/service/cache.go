@@ -6,9 +6,10 @@ import (
 )
 
 // lruCache is the content-addressed result cache: key = matrix digest +
-// options fingerprint, value = the completed Response, evicted least
-// recently used once the byte budget is exceeded. It is not goroutine-safe
-// by itself; the Service serializes access under its mutex.
+// options fingerprint (ordering entries) or matrix digest + a result-kind
+// tag (component entries), value = the completed response value, evicted
+// least recently used once the byte budget is exceeded. It is not
+// goroutine-safe by itself; the Service serializes access under its mutex.
 type lruCache struct {
 	capacity  int64 // byte budget; < 0 disables caching entirely
 	bytes     int64
@@ -19,7 +20,7 @@ type lruCache struct {
 
 type cacheEntry struct {
 	key   string
-	resp  *Response
+	val   any
 	bytes int64
 }
 
@@ -27,29 +28,29 @@ func newLRUCache(capacity int64) *lruCache {
 	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the cached response for key, promoting it to most recently
+// get returns the cached value for key, promoting it to most recently
 // used, or nil.
-func (c *lruCache) get(key string) *Response {
+func (c *lruCache) get(key string) any {
 	el, ok := c.items[key]
 	if !ok {
 		return nil
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp
+	return el.Value.(*cacheEntry).val
 }
 
-// put inserts a completed response, then evicts from the cold end until the
+// put inserts a completed result, then evicts from the cold end until the
 // budget holds again. A single result larger than the whole budget is not
 // cached at all — evicting the entire cache for one uncacheable giant would
 // only thrash.
-func (c *lruCache) put(key string, resp *Response, size int64) {
+func (c *lruCache) put(key string, val any, size int64) {
 	if c.capacity < 0 || size > c.capacity {
 		return
 	}
 	if _, ok := c.items[key]; ok {
 		return // single-flight means this only races a re-insert of the same value
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, bytes: size})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, bytes: size})
 	c.bytes += size
 	for c.bytes > c.capacity {
 		oldest := c.ll.Back()
@@ -70,6 +71,12 @@ func responseBytes(r *Response) int64 {
 		b += int64(64 * len(r.Modeled.Phases))
 	}
 	return b
+}
+
+// componentsBytes estimates a cached ComponentsResponse's resident size:
+// the per-vertex labels dominate, then the per-component sizes.
+func componentsBytes(r *ComponentsResponse) int64 {
+	return int64(8*len(r.Labels)) + int64(8*len(r.Sizes)) + 256
 }
 
 // latencyHist is one backend's wall-clock latency histogram: cumulative

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/rcm"
+)
+
+// componentsKeySuffix versions the components cache entries so the key
+// space never collides with ordering results (those end in an options
+// fingerprint, which never contains this tag).
+const componentsKeySuffix = "|components/1"
+
+// ComponentsResponse is one served connected-components analysis.
+// Labels and Sizes are shared with the service's cache — treat them as
+// read-only.
+type ComponentsResponse struct {
+	// Key is the content-addressed cache key (matrix digest + result kind).
+	Key string `json:"key"`
+	// Cached reports a cache hit; Deduped a request coalesced onto an
+	// identical in-flight analysis.
+	Cached  bool `json:"cached"`
+	Deduped bool `json:"deduped"`
+	// N and NNZ describe the analyzed matrix.
+	N   int `json:"n"`
+	NNZ int `json:"nnz"`
+	// Count is the number of connected components; LargestSize and
+	// SmallestSize bound the component sizes.
+	Count        int `json:"count"`
+	LargestSize  int `json:"largestSize"`
+	SmallestSize int `json:"smallestSize"`
+	// Sizes holds the vertex count per component, indexed by label.
+	Sizes []int `json:"sizes"`
+	// Labels holds the component id per vertex (omitted over HTTP with
+	// ?labels=0).
+	Labels []int `json:"labels,omitempty"`
+}
+
+// compFlight is one in-progress components analysis; followers wait on done
+// instead of recomputing.
+type compFlight struct {
+	done chan struct{}
+	resp *ComponentsResponse
+	err  error
+}
+
+// Components serves one connected-components analysis: from the cache when
+// the matrix digest is known, by joining an identical in-flight analysis,
+// and otherwise by computing it on the calling goroutine (the pass is a
+// near-linear union-find sweep, far cheaper than an ordering, so it does
+// not occupy the ordering worker pool). threads sizes the parallel pass;
+// 0 uses all cores. The result is independent of threads, so the cache key
+// is the matrix digest alone.
+func (s *Service) Components(ctx context.Context, a *rcm.Matrix, threads int) (*ComponentsResponse, error) {
+	if a == nil {
+		return nil, fmt.Errorf("service: nil matrix")
+	}
+	key := a.Digest() + componentsKeySuffix
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cached, ok := s.cache.get(key).(*ComponentsResponse); ok {
+		s.hits++
+		s.mu.Unlock()
+		r := *cached
+		r.Cached = true
+		return &r, nil
+	}
+	f, leader := s.comps[key], false
+	if f == nil {
+		f = &compFlight{done: make(chan struct{})}
+		s.comps[key] = f
+		s.misses++
+		leader = true
+	} else {
+		s.dedups++
+	}
+	s.mu.Unlock()
+
+	if leader {
+		f.resp, f.err = s.runComponents(key, a, threads)
+		s.mu.Lock()
+		if f.err == nil {
+			s.cache.put(key, f.resp, componentsBytes(f.resp))
+		}
+		if s.comps[key] == f {
+			delete(s.comps, key)
+		}
+		s.mu.Unlock()
+		close(f.done)
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	r := *f.resp
+	r.Deduped = !leader
+	return &r, nil
+}
+
+// runComponents executes the analysis and shapes the response.
+func (s *Service) runComponents(key string, a *rcm.Matrix, threads int) (*ComponentsResponse, error) {
+	var opts []rcm.Option
+	if threads > 0 {
+		opts = append(opts, rcm.WithThreads(threads))
+	}
+	cc, err := rcm.ConnectedComponents(a, opts...)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ComponentsResponse{
+		Key:    key,
+		N:      a.N(),
+		NNZ:    a.NNZ(),
+		Count:  cc.Count,
+		Sizes:  cc.Sizes,
+		Labels: cc.Label,
+	}
+	for i, sz := range cc.Sizes {
+		if i == 0 || sz > resp.LargestSize {
+			resp.LargestSize = sz
+		}
+		if i == 0 || sz < resp.SmallestSize {
+			resp.SmallestSize = sz
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,229 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/rcm"
+	"repro/rcm/service"
+)
+
+// TestComponentsService covers the embedded Components path: correctness
+// against rcm.ConnectedComponents, the cache hit on a repeat, and
+// single-flight dedup under concurrency.
+func TestComponentsService(t *testing.T) {
+	s := service.New(service.Config{Workers: 2})
+	defer s.Close()
+	m := rcm.Disconnected(rcm.Path(6), rcm.Star(4), rcm.Complete(3))
+	want, err := rcm.ConnectedComponents(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := s.Components(context.Background(), m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Deduped {
+		t.Fatalf("first analysis reported cached=%t deduped=%t", first.Cached, first.Deduped)
+	}
+	if first.Count != want.Count || !reflect.DeepEqual(first.Labels, want.Label) || !reflect.DeepEqual(first.Sizes, want.Sizes) {
+		t.Fatalf("service disagrees with ConnectedComponents: %+v vs %+v", first, want)
+	}
+	if first.LargestSize != 6 || first.SmallestSize != 3 {
+		t.Fatalf("size bounds %d/%d, want 6/3", first.LargestSize, first.SmallestSize)
+	}
+
+	second, err := s.Components(context.Background(), m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat analysis was not a cache hit")
+	}
+
+	// Concurrent requests on a fresh matrix: exactly one computes, the
+	// rest join as dedups or hits.
+	m2 := rcm.MultiComponent(6, 12, 7, 5)
+	var wg sync.WaitGroup
+	results := make([]*service.ComponentsResponse, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Components(context.Background(), m2, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	computed := 0
+	for _, r := range results {
+		if r == nil {
+			t.Fatal("missing result")
+		}
+		if !r.Cached && !r.Deduped {
+			computed++
+		}
+		if r.Count != results[0].Count {
+			t.Fatal("concurrent analyses disagree")
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d computations for one key, want 1", computed)
+	}
+
+	// Ordering and components results share the cache without clashing:
+	// the same matrix digest under both kinds must stay distinct entries.
+	if _, err := s.Order(context.Background(), m, service.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Components(context.Background(), m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Count != want.Count {
+		t.Fatalf("components entry lost after an ordering on the same matrix: %+v", again)
+	}
+
+	s.Close()
+	if _, err := s.Components(context.Background(), m, 0); err != service.ErrClosed {
+		t.Fatalf("closed service returned %v, want ErrClosed", err)
+	}
+}
+
+// TestHTTPComponents drives POST /v1/components end to end: both body
+// formats, the labels=0 trim, the X-Cache header, and query validation.
+func TestHTTPComponents(t *testing.T) {
+	s := service.New(service.Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(service.NewHandler(s))
+	defer srv.Close()
+
+	m := rcm.Disconnected(rcm.Path(5), rcm.Star(4))
+	want, err := rcm.ConnectedComponents(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(query, contentType string, body io.Reader) (*http.Response, []byte) {
+		resp, err := http.Post(srv.URL+"/v1/components"+query, contentType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, payload
+	}
+
+	var mmBody bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&mmBody, m, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, payload := post("?threads=2", service.ContentTypeMatrixMarket, &mmBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, payload)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", xc)
+	}
+	var out service.ComponentsResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != want.Count || !reflect.DeepEqual(out.Labels, want.Label) {
+		t.Fatalf("HTTP components disagree: %+v vs %+v", out, want)
+	}
+
+	// Binary body, labels trimmed, served from cache.
+	var binBody bytes.Buffer
+	if err := rcm.WriteBinary(&binBody, m); err != nil {
+		t.Fatal(err)
+	}
+	resp, payload = post("?labels=0", service.ContentTypeBinary, &binBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, payload)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Fatalf("X-Cache = %q, want hit (same pattern digest)", xc)
+	}
+	var trimmed service.ComponentsResponse
+	if err := json.Unmarshal(payload, &trimmed); err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.Labels != nil {
+		t.Fatalf("labels=0 still returned %d labels", len(trimmed.Labels))
+	}
+	if trimmed.Count != want.Count || !reflect.DeepEqual(trimmed.Sizes, want.Sizes) {
+		t.Fatalf("trimmed response lost the summary: %+v", trimmed)
+	}
+
+	// Unknown query parameter and bad threads are rejected.
+	resp, _ = post("?bogus=1", service.ContentTypeMatrixMarket, bytes.NewReader(nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown parameter: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post("?threads=x", service.ContentTypeMatrixMarket, bytes.NewReader(nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threads: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPOrderComponentScheduling wires compsched/compthreshold through
+// the query layer: the response carries ComponentStats and the permutation
+// matches the unscheduled order.
+func TestHTTPOrderComponentScheduling(t *testing.T) {
+	s := service.New(service.Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(service.NewHandler(s))
+	defer srv.Close()
+
+	m := rcm.Disconnected(rcm.Path(10), rcm.Star(7), rcm.Complete(4))
+	ref, err := rcm.Order(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var body bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&body, m, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/order?compsched=1&compthreshold=8", service.ContentTypeMatrixMarket, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, payload)
+	}
+	var out service.Response
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Perm, ref.Perm) {
+		t.Fatal("scheduled HTTP ordering differs from direct rcm.Order")
+	}
+	if out.ComponentStats == nil || out.ComponentStats.Count != 3 || out.ComponentStats.Threshold != 8 {
+		t.Fatalf("ComponentStats = %+v", out.ComponentStats)
+	}
+	if out.ComponentStats.Batched != 2 || out.ComponentStats.Direct != 1 {
+		t.Fatalf("batched/direct = %d/%d, want 2/1 at threshold 8", out.ComponentStats.Batched, out.ComponentStats.Direct)
+	}
+}

@@ -25,23 +25,29 @@ const (
 
 // NewHandler exposes a Service over HTTP:
 //
-//	POST /v1/order    order the matrix in the request body; options come
-//	                  from the URL query (backend, procs, threads, sort,
-//	                  heuristic, direction, diralpha, dirbeta, widthweight,
-//	                  heightweight, start, seed, hypersparse, noreverse,
-//	                  nosymmetrize; perm=0 omits the permutation from the
-//	                  response). Body formats: Matrix Market text or RCMB
-//	                  binary, selected by Content-Type.
-//	GET  /v1/stats    the Stats snapshot as JSON
-//	GET  /metrics     the same counters in Prometheus text format
-//	GET  /healthz     liveness probe
+//	POST /v1/order       order the matrix in the request body; options come
+//	                     from the URL query (backend, procs, threads, sort,
+//	                     heuristic, direction, diralpha, dirbeta,
+//	                     widthweight, heightweight, start, seed, hypersparse,
+//	                     noreverse, nosymmetrize, compsched, compthreshold;
+//	                     perm=0 omits the permutation from the response).
+//	                     Body formats: Matrix Market text or RCMB binary,
+//	                     selected by Content-Type.
+//	POST /v1/components  connected components of the matrix in the request
+//	                     body (same body formats); query: threads sizes the
+//	                     parallel pass, labels=0 omits the per-vertex labels.
+//	GET  /v1/stats       the Stats snapshot as JSON
+//	GET  /metrics        the same counters in Prometheus text format
+//	GET  /healthz        liveness probe
 //
-// Responses to /v1/order are the Response type as JSON, with an X-Cache
-// header (hit | miss | dedup) for quick curl inspection. See OPERATIONS.md
-// for the full API reference with examples.
+// Responses to /v1/order are the Response type as JSON and responses to
+// /v1/components the ComponentsResponse type, both with an X-Cache header
+// (hit | miss | dedup) for quick curl inspection. See OPERATIONS.md for the
+// full API reference with examples.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/order", func(w http.ResponseWriter, r *http.Request) { handleOrder(s, w, r) })
+	mux.HandleFunc("POST /v1/components", func(w http.ResponseWriter, r *http.Request) { handleComponents(s, w, r) })
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -69,25 +75,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
-	sp, includePerm, err := specFromQuery(r.URL.Query())
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
-		return
-	}
-	// The upload cap (Config.MaxUploadBytes) bounds the request stream,
-	// not the decoded matrix — a compact binary body expands ~8-16× into
-	// CSR arrays, which OPERATIONS.md tells operators to budget for. The
-	// readers allocate only as body bytes actually arrive, so a malicious
-	// header alone cannot balloon memory. A declared Content-Length over
-	// the cap is refused before any decoding; MaxBytesReader enforces the
-	// same bound on chunked bodies that decline to declare one (there the
-	// text decoder may report the cut as a parse error — still a 4xx,
-	// just a less precise one).
+// readMatrixBody decodes the uploaded matrix of an ordering or components
+// request, enforcing the upload cap and the accepted content types. On
+// failure it writes the error response itself and returns nil.
+//
+// The upload cap (Config.MaxUploadBytes) bounds the request stream, not the
+// decoded matrix — a compact binary body expands ~8-16× into CSR arrays,
+// which OPERATIONS.md tells operators to budget for. The readers allocate
+// only as body bytes actually arrive, so a malicious header alone cannot
+// balloon memory. A declared Content-Length over the cap is refused before
+// any decoding; MaxBytesReader enforces the same bound on chunked bodies
+// that decline to declare one (there the text decoder may report the cut as
+// a parse error — still a 4xx, just a less precise one).
+func readMatrixBody(s *Service, w http.ResponseWriter, r *http.Request) *rcm.Matrix {
 	if r.ContentLength > s.cfg.MaxUploadBytes {
 		writeJSON(w, http.StatusRequestEntityTooLarge,
 			httpError{fmt.Sprintf("request body %d bytes exceeds the %d-byte upload cap", r.ContentLength, s.cfg.MaxUploadBytes)})
-		return
+		return nil
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ct := r.Header.Get("Content-Type")
@@ -95,6 +99,7 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 		ct = mt // drop parameters like "; charset=utf-8"
 	}
 	var a *rcm.Matrix
+	var err error
 	switch ct {
 	// x-www-form-urlencoded is what curl --data-binary sends when no
 	// Content-Type is given; treat it as Matrix Market text so the
@@ -106,7 +111,7 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusUnsupportedMediaType,
 			httpError{fmt.Sprintf("unsupported Content-Type %q (want %s or %s)", ct, ContentTypeMatrixMarket, ContentTypeBinary)})
-		return
+		return nil
 	}
 	if err != nil {
 		status := http.StatusBadRequest
@@ -115,6 +120,19 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		writeJSON(w, status, httpError{err.Error()})
+		return nil
+	}
+	return a
+}
+
+func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
+	sp, includePerm, err := specFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	a := readMatrixBody(s, w, r)
+	if a == nil {
 		return
 	}
 
@@ -143,6 +161,58 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 	if !includePerm {
 		trimmed := *resp
 		trimmed.Perm = nil
+		resp = &trimmed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleComponents(s *Service, w http.ResponseWriter, r *http.Request) {
+	threads, includeLabels := 0, true
+	for key, vals := range r.URL.Query() {
+		val := vals[len(vals)-1]
+		switch key {
+		case "threads":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("service: bad threads %q: want an integer", val)})
+				return
+			}
+			threads = n
+		case "labels":
+			includeLabels = val != "0" && val != "false"
+		default:
+			writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("service: unknown query parameter %q", key)})
+			return
+		}
+	}
+	a := readMatrixBody(s, w, r)
+	if a == nil {
+		return
+	}
+
+	resp, err := s.Components(r.Context(), a, threads)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+		return
+	case r.Context().Err() != nil:
+		return // client went away; nothing useful to write
+	default:
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	switch {
+	case resp.Cached:
+		w.Header().Set("X-Cache", "hit")
+	case resp.Deduped:
+		w.Header().Set("X-Cache", "dedup")
+	default:
+		w.Header().Set("X-Cache", "miss")
+	}
+	if !includeLabels {
+		trimmed := *resp
+		trimmed.Labels = nil
 		resp = &trimmed
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -214,6 +284,12 @@ func specFromQuery(q url.Values) (sp Spec, includePerm bool, err error) {
 			sp.NoReverse = Bool(val != "0" && val != "false")
 		case "nosymmetrize":
 			sp.NoSymmetrize = Bool(val != "0" && val != "false")
+		case "compsched":
+			sp.CompSched = Bool(val != "0" && val != "false")
+		case "compthreshold":
+			if sp.CompThreshold, err = atoi(key, val); err != nil {
+				return sp, includePerm, err
+			}
 		case "perm":
 			includePerm = val != "0" && val != "false"
 		default:

@@ -93,6 +93,9 @@ type Response struct {
 	Perm []int `json:"perm,omitempty"`
 	// Modeled is the distributed backend's modelled BSP breakdown.
 	Modeled *rcm.Breakdown `json:"modeled,omitempty"`
+	// ComponentStats reports what the component scheduler did; present
+	// only when the request enabled component scheduling.
+	ComponentStats *rcm.ComponentStats `json:"componentStats,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the service's operational counters.
@@ -188,6 +191,7 @@ type Service struct {
 	closed  bool
 	cache   *lruCache
 	flights map[string]*flight
+	comps   map[string]*compFlight
 	hits    uint64
 	misses  uint64
 	dedups  uint64
@@ -219,6 +223,7 @@ func New(cfg Config) *Service {
 		quit:    make(chan struct{}),
 		cache:   newLRUCache(cfg.CacheBytes),
 		flights: make(map[string]*flight),
+		comps:   make(map[string]*compFlight),
 		latency: make(map[string]*latencyHist),
 		modeled: make(map[string]*phaseAgg),
 	}
@@ -251,7 +256,7 @@ func (s *Service) Order(ctx context.Context, a *rcm.Matrix, sp Spec) (*Response,
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if cached := s.cache.get(key); cached != nil {
+	if cached, ok := s.cache.get(key).(*Response); ok {
 		s.hits++
 		s.mu.Unlock()
 		r := *cached
@@ -340,6 +345,7 @@ func (s *Service) run(j *job) {
 			After:          res.After,
 			Perm:           res.Perm,
 			Modeled:        res.Modeled,
+			ComponentStats: res.ComponentStats,
 		}
 	}
 	s.mu.Lock()

@@ -50,6 +50,12 @@ type Spec struct {
 	// NoSymmetrize rejects structurally non-symmetric inputs instead of
 	// ordering A ∪ Aᵀ.
 	NoSymmetrize *bool `json:"noSymmetrize,omitempty"`
+	// CompSched enables component scheduling (rcm.WithComponentScheduling):
+	// small components are ordered concurrently as independent sequential
+	// jobs, without changing the permutation. CompThreshold overrides the
+	// size cutoff (0 = rcm.DefaultComponentThreshold).
+	CompSched     *bool `json:"componentScheduling,omitempty"`
+	CompThreshold int   `json:"componentThreshold,omitempty"`
 }
 
 // Bool is a convenience for the Spec's tri-state boolean fields:
@@ -117,6 +123,9 @@ func (sp Spec) Options() ([]rcm.Option, error) {
 	if sp.NoSymmetrize != nil && *sp.NoSymmetrize {
 		opts = append(opts, rcm.WithoutSymmetrize())
 	}
+	if sp.CompSched != nil && *sp.CompSched {
+		opts = append(opts, rcm.WithComponentScheduling(sp.CompThreshold))
+	}
 	return opts, nil
 }
 
@@ -162,6 +171,12 @@ func (base Spec) overlay(req Spec) Spec {
 	}
 	if out.NoSymmetrize == nil {
 		out.NoSymmetrize = base.NoSymmetrize
+	}
+	if out.CompSched == nil {
+		out.CompSched = base.CompSched
+	}
+	if out.CompThreshold == 0 {
+		out.CompThreshold = base.CompThreshold
 	}
 	return out
 }

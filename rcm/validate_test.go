@@ -32,6 +32,7 @@ func TestOrderValidation(t *testing.T) {
 		{"negative bi-criteria weight", []Option{WithStartHeuristic(BiCriteria), WithBiCriteriaWeights(-1, 1)}, "bi-criteria"},
 		{"zero bi-criteria weights", []Option{WithStartHeuristic(BiCriteria), WithBiCriteriaWeights(0, 0)}, "bi-criteria"},
 		{"weights without heuristic", []Option{WithBiCriteriaWeights(1, 1)}, "WithBiCriteriaWeights"},
+		{"negative component threshold", []Option{WithComponentScheduling(-2)}, "component threshold"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
