@@ -72,10 +72,21 @@ func WriteBinary(w io.Writer, a *spmat.CSR) error {
 		}
 	}
 	if a.HasValues() {
-		var vb [8]byte
-		for _, v := range a.Val {
-			binary.LittleEndian.PutUint64(vb[:], math.Float64bits(v))
-			bw.Write(vb[:])
+		// Batch the fixed-width section through a chunk buffer: one
+		// bw.Write per 512 values instead of one per value, the same
+		// discipline as the digest's int streaming.
+		var vb [512 * 8]byte
+		vals := a.Val
+		for len(vals) > 0 {
+			c := len(vals)
+			if c > 512 {
+				c = 512
+			}
+			for i := 0; i < c; i++ {
+				binary.LittleEndian.PutUint64(vb[i*8:], math.Float64bits(vals[i]))
+			}
+			bw.Write(vb[:c*8])
+			vals = vals[c:]
 		}
 	}
 	return bw.Flush()
@@ -91,39 +102,52 @@ func WriteBinary(w io.Writer, a *spmat.CSR) error {
 // declared sizes that do not add up — are rejected with descriptive
 // errors, never panics.
 func ReadBinary(r io.Reader) (*spmat.CSR, error) {
+	a, _, err := readBinary(r, false)
+	return a, err
+}
+
+// ReadBinaryDigest is ReadBinary with the canonical pattern digest
+// (spmat.PatternDigest) fused into the decode: the row pointers and each
+// row's columns are hashed the moment they are decoded, so callers that need
+// the content address — the ordering service keys its cache on it — never
+// re-walk RowPtr/Col afterwards.
+func ReadBinaryDigest(r io.Reader) (*spmat.CSR, string, error) {
+	return readBinary(r, true)
+}
+
+func readBinary(r io.Reader, wantDigest bool) (*spmat.CSR, string, error) {
 	br := bufio.NewReader(r)
 	var hdr [6]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("mmio: short binary header: %w", err)
+		return nil, "", fmt.Errorf("mmio: short binary header: %w", err)
 	}
-	if string(hdr[:4]) != binaryMagic {
-		return nil, fmt.Errorf("mmio: bad magic %q (want %q)", hdr[:4], binaryMagic)
-	}
-	if hdr[4] != binaryVersion {
-		return nil, fmt.Errorf("mmio: unsupported binary version %d", hdr[4])
-	}
-	flags := hdr[5]
-	if flags&^byte(binaryHasVals) != 0 {
-		return nil, fmt.Errorf("mmio: unknown binary flags %#x", flags)
+	flags, err := checkBinaryHeader(hdr)
+	if err != nil {
+		return nil, "", err
 	}
 	n, err := readUvarint(br, "dimension", math.MaxInt32)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	nnz, err := readUvarint(br, "entry count", uint64(n)*uint64(n))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	a := &spmat.CSR{N: n, RowPtr: append(make([]int, 0, boundedCap(n+1)), 0)}
 	for i := 0; i < n; i++ {
 		cnt, err := readUvarint(br, "row length", uint64(n))
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		a.RowPtr = append(a.RowPtr, a.RowPtr[i]+cnt)
 	}
 	if a.RowPtr[n] != nnz {
-		return nil, fmt.Errorf("mmio: row lengths sum to %d, header declares %d entries", a.RowPtr[n], nnz)
+		return nil, "", fmt.Errorf("mmio: row lengths sum to %d, header declares %d entries", a.RowPtr[n], nnz)
+	}
+	var ph *spmat.PatternHasher
+	if wantDigest {
+		ph = spmat.NewPatternHasher(n, nnz)
+		ph.WriteInts(a.RowPtr)
 	}
 	if nnz > 0 {
 		a.Col = make([]int, 0, boundedCap(nnz))
@@ -133,17 +157,20 @@ func ReadBinary(r io.Reader) (*spmat.CSR, error) {
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			d, err := readUvarint(br, "column index", uint64(n))
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			j := d
 			if prev >= 0 {
 				j = prev + 1 + d
 			}
 			if j >= n {
-				return nil, fmt.Errorf("mmio: column %d of row %d outside 0..%d", j, i, n-1)
+				return nil, "", fmt.Errorf("mmio: column %d of row %d outside 0..%d", j, i, n-1)
 			}
 			a.Col = append(a.Col, j)
 			prev = j
+		}
+		if ph != nil {
+			ph.WriteInts(a.Col[a.RowPtr[i]:a.RowPtr[i+1]])
 		}
 	}
 	if flags&binaryHasVals != 0 && nnz > 0 {
@@ -151,12 +178,32 @@ func ReadBinary(r io.Reader) (*spmat.CSR, error) {
 		var vb [8]byte
 		for k := 0; k < nnz; k++ {
 			if _, err := io.ReadFull(br, vb[:]); err != nil {
-				return nil, fmt.Errorf("mmio: truncated values: %w", err)
+				return nil, "", fmt.Errorf("mmio: truncated values: %w", err)
 			}
 			a.Val = append(a.Val, math.Float64frombits(binary.LittleEndian.Uint64(vb[:])))
 		}
 	}
-	return a, nil
+	digest := ""
+	if ph != nil {
+		digest = ph.SumHex()
+	}
+	return a, digest, nil
+}
+
+// checkBinaryHeader validates the 6 fixed header bytes and returns the flag
+// byte.
+func checkBinaryHeader(hdr [6]byte) (byte, error) {
+	if string(hdr[:4]) != binaryMagic {
+		return 0, fmt.Errorf("mmio: bad magic %q (want %q)", hdr[:4], binaryMagic)
+	}
+	if hdr[4] != binaryVersion {
+		return 0, fmt.Errorf("mmio: unsupported binary version %d", hdr[4])
+	}
+	flags := hdr[5]
+	if flags&^byte(binaryHasVals) != 0 {
+		return 0, fmt.Errorf("mmio: unknown binary flags %#x", flags)
+	}
+	return flags, nil
 }
 
 // boundedCap caps an initial allocation hint from an untrusted header:

@@ -1,0 +1,40 @@
+//go:build linux
+
+package mmio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory and returns the bytes plus a
+// release function. On linux this is a real mmap — the kernel pages the
+// file in on demand, so opening a multi-gigabyte RCMB file costs no
+// read(2) of the payload and no second copy in user space. MAP_PRIVATE +
+// PROT_READ: the decoder never writes the image. Empty files map to an
+// empty slice (mmap rejects length 0); if the mmap itself fails — some
+// filesystems refuse it — the portable read fallback takes over.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("mmio: %s: %d bytes exceeds address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFileFallback(path)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package mmio
+
+// mapFile on platforms without the mmap path reads the whole file — the
+// decode is identical, only the ingest copy differs.
+func mapFile(path string) ([]byte, func(), error) {
+	return readFileFallback(path)
+}

@@ -1,0 +1,172 @@
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/spmat"
+)
+
+// BinaryScanner decodes an RCMB stream block-by-block for matrices whose
+// pattern should never be resident all at once: each Next yields one
+// row-block sub-CSR and reuses its buffers, so peak memory is O(n + block
+// nnz) instead of O(nnz). The canonical pattern digest accumulates across
+// blocks exactly as the one-shot readers compute it — the out-of-core
+// proof that block-wise ingest and whole-matrix ingest address the same
+// content.
+//
+// The RCMB layout stores all columns before any values, so blocks are
+// pattern-only; when the stream carries values they are drained and
+// length-validated after the last block, at EOF.
+type BinaryScanner struct {
+	br     *bufio.Reader
+	n, nnz int
+	flags  byte
+	rowPtr []int // full matrix row pointers; O(n), not O(nnz)
+	next   int   // first row of the next block
+	rows   int   // rows per block
+	ph     *spmat.PatternHasher
+	blk    BinaryBlock
+	done   bool
+	err    error
+}
+
+// BinaryBlock is one row-block of the pattern: rows [Lo, Hi) with RowPtr
+// rebased to 0 (len Hi-Lo+1) and the block's column indices. The slices
+// are owned by the scanner and overwritten by the next call to Next.
+type BinaryBlock struct {
+	Lo, Hi int
+	RowPtr []int
+	Col    []int
+}
+
+// NewBinaryScanner reads the RCMB header and row lengths from r and
+// prepares block decoding. rowsPerBlock <= 0 selects 8192.
+func NewBinaryScanner(r io.Reader, rowsPerBlock int) (*BinaryScanner, error) {
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = 8192
+	}
+	br := bufio.NewReader(r)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mmio: short binary header: %w", err)
+	}
+	flags, err := checkBinaryHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readUvarint(br, "dimension", math.MaxInt32)
+	if err != nil {
+		return nil, err
+	}
+	nnz, err := readUvarint(br, "entry count", uint64(n)*uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	rowPtr := append(make([]int, 0, boundedCap(n+1)), 0)
+	for i := 0; i < n; i++ {
+		cnt, err := readUvarint(br, "row length", uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		rowPtr = append(rowPtr, rowPtr[i]+cnt)
+	}
+	if rowPtr[n] != nnz {
+		return nil, fmt.Errorf("mmio: row lengths sum to %d, header declares %d entries", rowPtr[n], nnz)
+	}
+	ph := spmat.NewPatternHasher(n, nnz)
+	ph.WriteInts(rowPtr)
+	return &BinaryScanner{
+		br: br, n: n, nnz: nnz, flags: flags,
+		rowPtr: rowPtr, rows: rowsPerBlock, ph: ph,
+	}, nil
+}
+
+// N reports the matrix dimension, NNZ the stored entry count, HasValues
+// whether a values section follows the pattern.
+func (s *BinaryScanner) N() int          { return s.n }
+func (s *BinaryScanner) NNZ() int        { return s.nnz }
+func (s *BinaryScanner) HasValues() bool { return s.flags&binaryHasVals != 0 }
+
+// Next decodes and returns the next row block, or (nil, io.EOF) once every
+// row has been yielded and the trailing values section (if any) has been
+// drained and validated. The returned block's slices are reused by the
+// following call. After an error the scanner is stuck on that error.
+func (s *BinaryScanner) Next() (*BinaryBlock, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.next >= s.n {
+		if err := s.drainValues(); err != nil {
+			s.err = err
+			return nil, err
+		}
+		s.done = true
+		return nil, io.EOF
+	}
+	lo := s.next
+	hi := lo + s.rows
+	if hi > s.n {
+		hi = s.n
+	}
+	s.next = hi
+	want := s.rowPtr[hi] - s.rowPtr[lo]
+	if cap(s.blk.Col) < want {
+		s.blk.Col = make([]int, 0, want)
+	}
+	s.blk.Col = s.blk.Col[:0]
+	if cap(s.blk.RowPtr) < hi-lo+1 {
+		s.blk.RowPtr = make([]int, 0, hi-lo+1)
+	}
+	s.blk.RowPtr = s.blk.RowPtr[:0]
+	s.blk.RowPtr = append(s.blk.RowPtr, 0)
+	for i := lo; i < hi; i++ {
+		prev := -1
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			d, err := readUvarint(s.br, "column index", uint64(s.n))
+			if err != nil {
+				s.err = err
+				return nil, err
+			}
+			j := d
+			if prev >= 0 {
+				j = prev + 1 + d
+			}
+			if j >= s.n {
+				s.err = fmt.Errorf("mmio: column %d of row %d outside 0..%d", j, i, s.n-1)
+				return nil, s.err
+			}
+			s.blk.Col = append(s.blk.Col, j)
+			prev = j
+		}
+		s.blk.RowPtr = append(s.blk.RowPtr, len(s.blk.Col))
+	}
+	s.ph.WriteInts(s.blk.Col)
+	s.blk.Lo, s.blk.Hi = lo, hi
+	return &s.blk, nil
+}
+
+// drainValues consumes and validates the fixed-width values section.
+func (s *BinaryScanner) drainValues() error {
+	if s.flags&binaryHasVals == 0 || s.nnz == 0 {
+		return nil
+	}
+	if _, err := io.CopyN(io.Discard, s.br, int64(s.nnz)*8); err != nil {
+		return fmt.Errorf("mmio: truncated values: %w", err)
+	}
+	return nil
+}
+
+// Digest returns the canonical pattern digest. It is valid only after Next
+// has returned io.EOF; before that it returns "".
+func (s *BinaryScanner) Digest() string {
+	if !s.done {
+		return ""
+	}
+	return s.ph.SumHex()
+}

@@ -1,0 +1,213 @@
+package spmat
+
+import (
+	"math"
+	"sort"
+)
+
+// Parallel bulk kernels over row blocks: the ingest-and-permute path of the
+// ordering service runs these on every request (PAPᵀ plus before/after
+// bandwidth/profile/wavefront statistics), so at high cache hit ratios they
+// — not the ordering engines — are the serving bottleneck. Each kernel
+// partitions the rows with Blocks/WeightedBlocks and either writes disjoint
+// output ranges or reduces per-block partials, so the results are
+// byte-identical to the serial methods at any thread count. threads == 1
+// runs the serial code path directly; threads < 1 selects GOMAXPROCS.
+
+// minParallelRows gates the goroutine fan-out: below this size the spawn
+// overhead exceeds the sweep itself. A variable so the equivalence tests can
+// force the parallel path on small fixtures.
+var minParallelRows = 2048
+
+// PermutePar is Permute over `threads` row blocks: pass one computes the
+// output row pointers (per-block length sums, an exclusive scan of the
+// block totals, then per-block fill), pass two scatters each output block
+// independently — row k of the result is old row perm[k] relabeled through
+// the inverse permutation and re-sorted in place. Identical output to
+// Permute; the blocks are nnz-balanced so one dense stripe cannot
+// serialize the scatter.
+func (a *CSR) PermutePar(perm []int, threads int) *CSR {
+	if threads == 1 || a.N < minParallelRows {
+		return a.Permute(perm)
+	}
+	if err := ValidatePerm(perm, a.N); err != nil {
+		panic("spmat: " + err.Error())
+	}
+	n := a.N
+	bounds := Blocks(n, threads)
+	nb := len(bounds) - 1
+
+	inv := make([]int, n)
+	rowPtr := make([]int, n+1)
+	blockNNZ := make([]int, nb+1)
+	parallelBlocks(bounds, func(k, lo, hi int) {
+		sum := 0
+		for i := lo; i < hi; i++ {
+			old := perm[i]
+			inv[old] = i
+			// Stash the row length; the scan below turns it into offsets.
+			rowPtr[i+1] = a.RowPtr[old+1] - a.RowPtr[old]
+			sum += rowPtr[i+1]
+		}
+		blockNNZ[k+1] = sum
+	})
+	for k := 0; k < nb; k++ {
+		blockNNZ[k+1] += blockNNZ[k]
+	}
+	parallelBlocks(bounds, func(k, lo, hi int) {
+		off := blockNNZ[k]
+		for i := lo; i < hi; i++ {
+			off += rowPtr[i+1]
+			rowPtr[i+1] = off
+		}
+	})
+
+	cols := make([]int, a.NNZ())
+	var vals []float64
+	if a.Val != nil {
+		vals = make([]float64, a.NNZ())
+	}
+	// Scatter blocks balanced by output nnz, not row count.
+	parallelBlocks(WeightedBlocks(rowPtr, threads), func(_, lo, hi int) {
+		sorter := &colValSorter{} // per-goroutine; sort.Sort escapes it
+		for k := lo; k < hi; k++ {
+			old := perm[k]
+			plo, phi := rowPtr[k], rowPtr[k+1]
+			dst := cols[plo:phi]
+			for t, j := range a.Col[a.RowPtr[old]:a.RowPtr[old+1]] {
+				dst[t] = inv[j]
+			}
+			if vals == nil {
+				sort.Ints(dst)
+				continue
+			}
+			rv := vals[plo:phi]
+			copy(rv, a.Val[a.RowPtr[old]:a.RowPtr[old+1]])
+			sorter.cols, sorter.vals = dst, rv
+			sort.Sort(sorter)
+		}
+	})
+	return &CSR{N: n, RowPtr: rowPtr, Col: cols, Val: vals}
+}
+
+// DegreesPar is Degrees over nnz-balanced row blocks.
+func (a *CSR) DegreesPar(threads int) []int {
+	if threads == 1 || a.N < minParallelRows {
+		return a.Degrees()
+	}
+	deg := make([]int, a.N)
+	parallelBlocks(WeightedBlocks(a.RowPtr, threads), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := 0
+			for _, j := range a.Row(i) {
+				if j != i {
+					d++
+				}
+			}
+			deg[i] = d
+		}
+	})
+	return deg
+}
+
+// BandwidthPar is Bandwidth over nnz-balanced row blocks with a max
+// reduction of the per-block partials.
+func (a *CSR) BandwidthPar(threads int) int {
+	if threads == 1 || a.N < minParallelRows {
+		return a.Bandwidth()
+	}
+	bounds := WeightedBlocks(a.RowPtr, threads)
+	part := make([]int, len(bounds)-1)
+	parallelBlocks(bounds, func(k, lo, hi int) {
+		bw := 0
+		for i := lo; i < hi; i++ {
+			for _, j := range a.Row(i) {
+				d := i - j
+				if d < 0 {
+					d = -d
+				}
+				if d > bw {
+					bw = d
+				}
+			}
+		}
+		part[k] = bw
+	})
+	bw := 0
+	for _, p := range part {
+		if p > bw {
+			bw = p
+		}
+	}
+	return bw
+}
+
+// ProfilePar is Profile over row blocks with a sum reduction. The sweep is
+// O(n) — each row contributes only its first stored column — so the blocks
+// are uniform in rows.
+func (a *CSR) ProfilePar(threads int) int64 {
+	if threads == 1 || a.N < minParallelRows {
+		return a.Profile()
+	}
+	bounds := Blocks(a.N, threads)
+	part := make([]int64, len(bounds)-1)
+	parallelBlocks(bounds, func(k, lo, hi int) {
+		var p int64
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			if len(row) == 0 {
+				continue
+			}
+			if bi := i - row[0]; bi > 0 {
+				p += int64(bi)
+			}
+		}
+		part[k] = p
+	})
+	var p int64
+	for _, v := range part {
+		p += v
+	}
+	return p
+}
+
+// WavefrontPar is Wavefront with the first-nonzero-column gather — the only
+// part that touches the sparse structure — parallelized over row blocks;
+// the difference-array accumulation and the O(n) scan that follows stay
+// sequential (they are pure arithmetic on dense arrays and the scan carries
+// a dependency).
+func (a *CSR) WavefrontPar(threads int) WavefrontStats {
+	if threads == 1 || a.N < minParallelRows {
+		return a.Wavefront()
+	}
+	n := a.N
+	fj := make([]int, n)
+	parallelBlocks(Blocks(n, threads), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			fj[j] = j
+			row := a.Row(j)
+			if len(row) > 0 && row[0] < j {
+				fj[j] = row[0]
+			}
+		}
+	})
+	diff := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		diff[fj[j]]++
+		diff[j+1]--
+	}
+	var st WavefrontStats
+	cur := 0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		cur += diff[i]
+		if cur > st.Max {
+			st.Max = cur
+		}
+		sum += float64(cur)
+		sumSq += float64(cur) * float64(cur)
+	}
+	st.Mean = sum / float64(n)
+	st.RMS = math.Sqrt(sumSq / float64(n))
+	return st
+}

@@ -18,9 +18,14 @@ type Info struct {
 	AvgDegree  float64
 }
 
-// Summarize computes the structural summary of a matrix.
+// Summarize computes the structural summary of a matrix. The component
+// labeling runs through the lock-free ParallelComponents pass and the
+// degree/bandwidth/profile sweeps through the row-block-parallel kernels;
+// one Degrees result feeds both the max and the average, so the pattern is
+// walked once per metric and the summary of a large matrix costs a handful
+// of parallel sweeps instead of four serial ones.
 func Summarize(name string, a *CSR) Info {
-	deg := a.Degrees()
+	deg := a.DegreesPar(0)
 	maxd, sum := 0, 0
 	for _, d := range deg {
 		if d > maxd {
@@ -28,7 +33,7 @@ func Summarize(name string, a *CSR) Info {
 		}
 		sum += d
 	}
-	_, ncomp := a.Components()
+	_, ncomp := a.ParallelComponents(0)
 	avg := 0.0
 	if a.N > 0 {
 		avg = float64(sum) / float64(a.N)
@@ -37,8 +42,8 @@ func Summarize(name string, a *CSR) Info {
 		Name:       name,
 		N:          a.N,
 		NNZ:        a.NNZ(),
-		Bandwidth:  a.Bandwidth(),
-		Profile:    a.Profile(),
+		Bandwidth:  a.BandwidthPar(0),
+		Profile:    a.ProfilePar(0),
 		Components: ncomp,
 		MaxDegree:  maxd,
 		AvgDegree:  avg,

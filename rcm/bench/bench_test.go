@@ -60,6 +60,30 @@ func TestAblationHeuristicSmoke(t *testing.T) {
 	}
 }
 
+// TestIngestSmoke runs the ingest experiment at a small scale: every
+// strategy — streaming reader, mmap decode, out-of-core scanner — must
+// reproduce the canonical content digest, and the CSV side channel must
+// carry one row per strategy.
+func TestIngestSmoke(t *testing.T) {
+	var out bytes.Buffer
+	rows := RunIngest(Config{Scale: 10, Out: &out})
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4:\n%s", len(rows), out.String())
+	}
+	for _, r := range rows {
+		if !r.DigestOK {
+			t.Errorf("stage %s did not reproduce the content digest", r.Stage)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteIngestCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 5 {
+		t.Errorf("CSV has %d lines, want 5", lines)
+	}
+}
+
 // TestModelOverrides checks that the α/β overrides reach the machine model
 // (a larger latency must not make the modelled run faster).
 func TestModelOverrides(t *testing.T) {

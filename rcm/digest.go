@@ -1,11 +1,7 @@
 package rcm
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/spmat"
 )
@@ -17,40 +13,12 @@ import (
 // ordering Result reports depends on them. The digest is the matrix half of
 // an ordering cache key (see OptionsFingerprint and package
 // repro/rcm/service); it is memoized, so repeated requests on one Matrix
-// hash the pattern only once.
+// hash the pattern only once. Matrices decoded from the RCMB binary format
+// arrive with the digest pre-seeded — the fused-digest readers hash the
+// pattern during decode, so this call never re-walks RowPtr/Col for them.
 func (m *Matrix) Digest() string {
-	m.digestOnce.Do(func() { m.digestVal = patternDigest(m.csr) })
+	m.digestOnce.Do(func() { m.digestVal = spmat.PatternDigest(m.csr) })
 	return m.digestVal
-}
-
-// patternDigest hashes the canonical CSR pattern.
-func patternDigest(csr *spmat.CSR) string {
-	h := sha256.New()
-	var hdr [24]byte
-	copy(hdr[:8], "rcmcsr/1")
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(csr.N))
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(csr.NNZ()))
-	h.Write(hdr[:])
-	writeInts(h, csr.RowPtr)
-	writeInts(h, csr.Col)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// writeInts streams a []int through the hash as little-endian 64-bit words,
-// converting through a fixed chunk so the slice is never duplicated.
-func writeInts(h interface{ Write([]byte) (int, error) }, xs []int) {
-	var buf [512 * 8]byte
-	for len(xs) > 0 {
-		n := len(xs)
-		if n > 512 {
-			n = 512
-		}
-		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint64(buf[i*8:], uint64(xs[i]))
-		}
-		h.Write(buf[:n*8])
-		xs = xs[n:]
-	}
 }
 
 // OptionsFingerprint renders the fully resolved option set as a canonical
@@ -64,17 +32,53 @@ func writeInts(h interface{ Write([]byte) (int, error) }, xs []int) {
 // The fingerprint is intentionally conservative: it includes options such
 // as Procs and Threads that change only the modelled Breakdown, never the
 // permutation, because the cached Result carries those too.
+//
+// The rendering is strconv appends into one reused buffer, not fmt: the
+// service computes a fingerprint on every request, and on the cache hit
+// path the fingerprint is most of the work — profiling showed
+// fmt.Fprintf's interface walking at ~3/4 of the hit latency. The byte
+// layout is pinned by tests; cache keys depend on it.
 func OptionsFingerprint(opts ...Option) string {
 	c := defaultConfig()
 	for _, o := range opts {
 		o(&c)
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "rcmopt/2 backend=%v sort=%v heuristic=%v direction=%v", c.backend, c.sortMode, c.heuristic, c.direction)
-	fmt.Fprintf(&sb, " dir=%d/%d", c.dirAlpha, c.dirBeta)
-	fmt.Fprintf(&sb, " bc=%d/%d/%t", c.bcWidthW, c.bcHeightW, c.bcSet)
-	fmt.Fprintf(&sb, " start=%d procs=%d threads=%d seed=%d", c.start, c.procs, c.threads, c.seed)
-	fmt.Fprintf(&sb, " hyper=%t norev=%t sym=%t", c.hypersparse, c.noReverse, c.symmetrize)
-	fmt.Fprintf(&sb, " comp=%t/%d", c.compSched, c.compThresh)
-	return sb.String()
+	b := make([]byte, 0, 192)
+	b = append(b, "rcmopt/2 backend="...)
+	b = append(b, c.backend.String()...)
+	b = append(b, " sort="...)
+	b = append(b, c.sortMode.String()...)
+	b = append(b, " heuristic="...)
+	b = append(b, c.heuristic.String()...)
+	b = append(b, " direction="...)
+	b = append(b, c.direction.String()...)
+	b = append(b, " dir="...)
+	b = strconv.AppendInt(b, int64(c.dirAlpha), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.dirBeta), 10)
+	b = append(b, " bc="...)
+	b = strconv.AppendInt(b, int64(c.bcWidthW), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.bcHeightW), 10)
+	b = append(b, '/')
+	b = strconv.AppendBool(b, c.bcSet)
+	b = append(b, " start="...)
+	b = strconv.AppendInt(b, int64(c.start), 10)
+	b = append(b, " procs="...)
+	b = strconv.AppendInt(b, int64(c.procs), 10)
+	b = append(b, " threads="...)
+	b = strconv.AppendInt(b, int64(c.threads), 10)
+	b = append(b, " seed="...)
+	b = strconv.AppendInt(b, c.seed, 10)
+	b = append(b, " hyper="...)
+	b = strconv.AppendBool(b, c.hypersparse)
+	b = append(b, " norev="...)
+	b = strconv.AppendBool(b, c.noReverse)
+	b = append(b, " sym="...)
+	b = strconv.AppendBool(b, c.symmetrize)
+	b = append(b, " comp="...)
+	b = strconv.AppendBool(b, c.compSched)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.compThresh), 10)
+	return string(b)
 }

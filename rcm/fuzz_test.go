@@ -74,9 +74,12 @@ func FuzzOrderDeterminism(f *testing.F) {
 	})
 }
 
-// FuzzReadBinary feeds arbitrary bytes to the RCMB decoder: it must reject
-// or accept, never panic, and never allocate unboundedly from a hostile
-// header. Accepted matrices must round-trip.
+// FuzzReadBinary feeds arbitrary bytes to BOTH RCMB decoders — the
+// streaming reader and the zero-copy parallel bytes decoder: each must
+// reject or accept, never panic, never allocate unboundedly from a hostile
+// header, and they must agree — same verdict on every input and, on
+// accept, the same matrix and the same pre-seeded digest. Accepted
+// matrices must round-trip.
 func FuzzReadBinary(f *testing.F) {
 	var seed bytes.Buffer
 	if err := rcm.WriteBinary(&seed, rcm.Path(6)); err != nil {
@@ -88,8 +91,18 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := rcm.ReadBinary(bytes.NewReader(data))
+		mb, errB := rcm.ReadBinaryBytes(data, 4)
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("decoders disagree: reader=%v bytes=%v", err, errB)
+		}
 		if err != nil {
 			return
+		}
+		if !mb.Equal(m) {
+			t.Fatal("bytes decoder returned a different matrix")
+		}
+		if mb.Digest() != m.Digest() {
+			t.Fatalf("digest mismatch: reader %s, bytes %s", m.Digest(), mb.Digest())
 		}
 		var out bytes.Buffer
 		if err := rcm.WriteBinary(&out, m); err != nil {

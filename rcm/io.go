@@ -76,13 +76,42 @@ func WriteMatrixMarket(w io.Writer, a *Matrix, symmetric bool, comments ...strin
 // too large to ship as Matrix Market text. The stream is a serialized CSR
 // (uvarint row lengths, delta-coded column indices, optional float64
 // values), so the decode is streaming and single-buffered: no intermediate
-// coordinate list is ever built. See WriteBinary for producing it.
+// coordinate list is ever built. The pattern digest is fused into the
+// decode and pre-seeded into the Matrix, so a later Digest call — the
+// service keys its cache on it — never re-walks the pattern. See
+// WriteBinary for producing the format.
 func ReadBinary(r io.Reader) (*Matrix, error) {
-	a, err := mmio.ReadBinary(r)
+	a, digest, err := mmio.ReadBinaryDigest(r)
 	if err != nil {
 		return nil, err
 	}
-	return wrap(a), nil
+	return wrapWithDigest(a, digest), nil
+}
+
+// ReadBinaryBytes decodes an RCMB image from a caller-owned byte slice —
+// zero-copy ingest for buffers already in memory (an mmap'd file, a
+// buffered upload body). The varint column section is split into row-block
+// extents and decoded in parallel: threads == 1 is serial, threads < 1
+// selects GOMAXPROCS. Like ReadBinary it pre-seeds the pattern digest, and
+// nothing in the returned Matrix references buf afterwards.
+func ReadBinaryBytes(buf []byte, threads int) (*Matrix, error) {
+	a, digest, err := mmio.ReadBinaryBytesDigest(buf, threads)
+	if err != nil {
+		return nil, err
+	}
+	return wrapWithDigest(a, digest), nil
+}
+
+// OpenBinary decodes the RCMB file at path through ReadBinaryBytes,
+// mmap-backed on platforms that support it — the payload is paged in on
+// demand and never copied through a read buffer. The mapping is released
+// before the call returns.
+func OpenBinary(path string, threads int) (*Matrix, error) {
+	a, digest, err := mmio.OpenBinaryDigest(path, threads)
+	if err != nil {
+		return nil, err
+	}
+	return wrapWithDigest(a, digest), nil
 }
 
 // WriteBinary encodes the matrix in the RCMB compact binary format read by

@@ -28,6 +28,17 @@ type Matrix struct {
 // wrap adopts an internal CSR. Internal constructors guarantee csr != nil.
 func wrap(csr *spmat.CSR) *Matrix { return &Matrix{csr: csr} }
 
+// wrapWithDigest adopts a CSR whose pattern digest was already computed —
+// the fused-digest binary readers hash during decode — pre-seeding the
+// memo so Digest never re-walks the pattern.
+func wrapWithDigest(csr *spmat.CSR, digest string) *Matrix {
+	m := wrap(csr)
+	if digest != "" {
+		m.digestOnce.Do(func() { m.digestVal = digest })
+	}
+	return m
+}
+
 // Edge is one directed entry (i, j) used by FromEdges; the optional Val is
 // the numeric value (ignored when building a pattern).
 type Edge struct {
@@ -96,10 +107,16 @@ func (m *Matrix) Degrees() []int { return m.csr.Degrees() }
 // entries — are rejected with a diagnosis naming the first offending
 // position, before any kernel touches them.
 func (m *Matrix) Permute(perm []int) (*Matrix, error) {
+	return m.permutePar(perm, 1)
+}
+
+// permutePar is Permute over row-block-parallel scatter; output is
+// identical at any thread count.
+func (m *Matrix) permutePar(perm []int, threads int) (*Matrix, error) {
 	if err := spmat.ValidatePerm(perm, m.csr.N); err != nil {
 		return nil, fmt.Errorf("rcm: %v", err)
 	}
-	return wrap(m.csr.Permute(perm)), nil
+	return wrap(m.csr.PermutePar(perm, threads)), nil
 }
 
 // Equal reports whether two matrices have the identical pattern (and, when
@@ -135,11 +152,17 @@ func (m *Matrix) SpyString(w, h int) string { return m.csr.SpyString(w, h) }
 
 // Stats returns the ordering-quality statistics of the matrix in its
 // current row/column order.
-func (m *Matrix) Stats() Stats {
-	wf := m.csr.Wavefront()
+func (m *Matrix) Stats() Stats { return m.statsPar(1) }
+
+// statsPar is Stats over the row-block-parallel kernels: threads == 1 is
+// the serial sweep, threads < 1 selects GOMAXPROCS. Results are identical
+// at any thread count; Order threads its WithThreads value through here
+// for the Before/After statistics.
+func (m *Matrix) statsPar(threads int) Stats {
+	wf := m.csr.WavefrontPar(threads)
 	return Stats{
-		Bandwidth:     m.csr.Bandwidth(),
-		Profile:       m.csr.Profile(),
+		Bandwidth:     m.csr.BandwidthPar(threads),
+		Profile:       m.csr.ProfilePar(threads),
 		MaxWavefront:  wf.Max,
 		MeanWavefront: wf.Mean,
 		RMSWavefront:  wf.RMS,

@@ -142,12 +142,15 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 		}
 	}
 
-	res.Before = a.Stats()
-	p, err := a.Permute(res.Perm)
+	// The bookkeeping around the ordering — PAPᵀ and the Before/After
+	// statistics — runs on the row-block-parallel kernels under the same
+	// thread budget as the ordering itself (WithThreads; 1 means serial).
+	res.Before = a.statsPar(c.threads)
+	p, err := a.permutePar(res.Perm, c.threads)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rcm: internal error: backend returned an invalid permutation: %w", err)
 	}
-	res.After = p.Stats()
+	res.After = p.statsPar(c.threads)
 	if !wantMatrix {
 		p = nil
 	}

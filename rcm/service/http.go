@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"net/url"
@@ -107,7 +108,14 @@ func readMatrixBody(s *Service, w http.ResponseWriter, r *http.Request) *rcm.Mat
 	case ContentTypeMatrixMarket, "text/plain", "application/x-www-form-urlencoded", "":
 		a, _, err = rcm.ReadMatrixMarket(r.Body)
 	case ContentTypeBinary, "application/octet-stream":
-		a, err = rcm.ReadBinary(r.Body)
+		// Buffer the body (already capped by MaxBytesReader) and decode
+		// through the zero-copy parallel reader: the column decode fans
+		// out across GOMAXPROCS and the cache-key digest is computed in
+		// the same pass.
+		var body []byte
+		if body, err = io.ReadAll(r.Body); err == nil {
+			a, err = rcm.ReadBinaryBytes(body, 0)
+		}
 	default:
 		writeJSON(w, http.StatusUnsupportedMediaType,
 			httpError{fmt.Sprintf("unsupported Content-Type %q (want %s or %s)", ct, ContentTypeMatrixMarket, ContentTypeBinary)})
