@@ -21,6 +21,7 @@
 //	rcmbench -exp spy                before/after ASCII spy plots (Fig. 3 plots)
 //	rcmbench -exp service            ordering-service QPS vs cache hit ratio
 //	rcmbench -exp ingest             RCMB ingest strategies + out-of-core digest
+//	rcmbench -exp fleet              sharded fleet QPS vs replica count
 //	rcmbench -exp all                everything above
 //
 // The -direction flag forces the traversal direction policy
@@ -48,7 +49,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-components|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|service|ingest|all)")
+		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-components|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|service|ingest|fleet|all)")
 		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
 		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
 		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
@@ -57,7 +58,7 @@ func main() {
 		heur     = flag.String("heuristic", "pseudo-peripheral", "start-vertex heuristic for every run (pseudo-peripheral|bi-criteria|min-degree|first-vertex)")
 		alpha    = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
 		beta     = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
-		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5/service/ingest only)")
+		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5/service/ingest/fleet only)")
 	)
 	flag.Parse()
 
@@ -194,6 +195,13 @@ func main() {
 		rows := bench.RunIngest(cfg)
 		if *exp == "ingest" {
 			csvOut(func(w io.Writer) error { return bench.WriteIngestCSV(w, rows) })
+		}
+		ran = true
+	}
+	if run("fleet") {
+		rows := bench.RunFleet(cfg)
+		if *exp == "fleet" {
+			csvOut(func(w io.Writer) error { return bench.WriteFleetCSV(w, rows) })
 		}
 		ran = true
 	}

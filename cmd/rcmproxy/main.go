@@ -1,0 +1,177 @@
+// Command rcmproxy fronts a fleet of rcmserve replicas with the routing
+// tier in package repro/rcm/service/cluster: consistent-hash routing on
+// the content-addressed cache key (so the fleet behaves as one sharded
+// cache), request coalescing, bounded-load spill, and 429 + Retry-After
+// admission control.
+//
+//	rcmproxy -replicas http://10.0.0.1:8077,http://10.0.0.2:8077 \
+//	         [-addr :8076] [-vnodes 64] [-max-inflight 32] [-queue-depth 128] \
+//	         [-hot-mb 0] [-max-upload-mb 1024] [-health-interval 2s] \
+//	         [-backend ...] [-procs ...] [-threads ...] [-heuristic ...] \
+//	         [-direction ...] [-sort ...] [-compsched] [-compthreshold ...]
+//
+// Replica IDs default to the URL's host:port; give explicit IDs as
+// id=url entries when hosts can be readdressed (the ID is the identity
+// on the hash ring — renaming moves its keyspace). The default-spec
+// flags must mirror the replicas' own flags so the proxy computes the
+// same cache key a replica will; a mismatch only degrades routing
+// locality, never correctness. See OPERATIONS.md, "Running a fleet".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/rcm/service"
+	"repro/rcm/service/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8076", "HTTP listen address")
+		replicasCSV = flag.String("replicas", "", "comma-separated replica base URLs, each url or id=url (required)")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring")
+		maxInflight = flag.Int("max-inflight", 32, "concurrent upstream requests per replica before spilling along the ring")
+		queueDepth  = flag.Int("queue-depth", 0, "queued requests per replica before shedding with 429 (0 = 4 x max-inflight)")
+		hotMB       = flag.Int64("hot-mb", 0, "proxy-side hot-key response cache in MiB (0 disables)")
+		maxUpMB     = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB")
+		healthIvl   = flag.Duration("health-interval", 2*time.Second, "replica /healthz probe period (negative disables)")
+		backend     = flag.String("backend", "", "replicas' default backend (must mirror the rcmserve flags)")
+		procs       = flag.Int("procs", 0, "replicas' default simulated process count")
+		threads     = flag.Int("threads", 0, "replicas' default thread count")
+		heur        = flag.String("heuristic", "", "replicas' default starting-vertex heuristic")
+		dir         = flag.String("direction", "", "replicas' default traversal direction policy")
+		sortM       = flag.String("sort", "", "replicas' default distributed frontier sort mode")
+		compS       = flag.Bool("compsched", false, "replicas enable component scheduling by default")
+		compT       = flag.Int("compthreshold", 0, "replicas' default component-scheduling threshold")
+	)
+	flag.Parse()
+
+	replicas, err := parseReplicas(*replicasCSV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmproxy: %v\n", err)
+		os.Exit(2)
+	}
+	proxy, err := cluster.New(cluster.Config{
+		Replicas:       replicas,
+		VNodes:         *vnodes,
+		MaxInflight:    *maxInflight,
+		MaxQueueDepth:  *queueDepth,
+		HotCacheBytes:  *hotMB << 20,
+		MaxUploadBytes: *maxUpMB << 20,
+		HealthInterval: *healthIvl,
+		DefaultSpec: service.Spec{
+			Backend:       *backend,
+			Procs:         *procs,
+			Threads:       *threads,
+			Heuristic:     *heur,
+			Direction:     *dir,
+			Sort:          *sortM,
+			CompSched:     compSched(*compS),
+			CompThreshold: *compT,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmproxy: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: logRequests(proxy)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("rcmproxy: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("rcmproxy: shutdown: %v", err)
+		}
+		proxy.Close()
+	}()
+
+	for _, r := range replicas {
+		log.Printf("rcmproxy: replica %s -> %s", r.ID, r.URL)
+	}
+	log.Printf("rcmproxy: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "rcmproxy: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// parseReplicas decodes the -replicas list: each entry a base URL, or
+// id=url to pin the ring identity explicitly.
+func parseReplicas(csv string) ([]cluster.Replica, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("-replicas is required (comma-separated base URLs)")
+	}
+	var out []cluster.Replica
+	for _, entry := range strings.Split(csv, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, raw, found := strings.Cut(entry, "=")
+		if !found {
+			raw, id = entry, ""
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("bad replica URL %q (want scheme://host:port)", raw)
+		}
+		if id == "" {
+			id = u.Host
+		}
+		out = append(out, cluster.Replica{ID: id, URL: raw})
+	}
+	return out, nil
+}
+
+// compSched maps the boolean flag onto the Spec's tri-state field: false
+// stays nil so per-request compsched=1 still works without a default.
+func compSched(on bool) *bool {
+	if !on {
+		return nil
+	}
+	return service.Bool(true)
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		replica := rec.Header().Get("X-RCM-Replica")
+		if replica == "" {
+			replica = "-"
+		}
+		cache := rec.Header().Get("X-Cache")
+		if cache == "" {
+			cache = "-"
+		}
+		log.Printf("%s %s %d replica=%s cache=%s %.3fs", r.Method, r.URL.Path, rec.status, replica, cache, time.Since(start).Seconds())
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -5,6 +5,12 @@
 //	rcmserve [-addr :8077] [-workers 4] [-queue 16] [-cache-mb 256]
 //	         [-backend sequential] [-procs 0] [-threads 0]
 //	         [-heuristic pseudo-peripheral] [-direction auto] [-sort full]
+//	         [-drain-wait 2s]
+//
+// On SIGTERM/SIGINT the server drains gracefully: /healthz flips to 503
+// "draining" so a routing tier (cmd/rcmproxy) stops sending new work,
+// in-flight requests finish, and the final stats snapshot is logged as a
+// JSON line.
 //
 // The -backend/-procs/-threads/-heuristic/-direction/-sort flags are
 // server-side defaults; every request may override them with query
@@ -14,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,19 +35,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "HTTP listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "queued-job bound before backpressure (0 = 4 × workers)")
-		cacheMB = flag.Int64("cache-mb", 256, "result cache byte budget in MiB (negative disables caching)")
-		maxUpMB = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB (decoded matrices are ~8-16x larger)")
-		backend = flag.String("backend", "", "default backend: sequential|algebraic|shared|distributed")
-		procs   = flag.Int("procs", 0, "default simulated process count for the distributed backend")
-		threads = flag.Int("threads", 0, "default thread count (shared backend / distributed model)")
-		heur    = flag.String("heuristic", "", "default starting-vertex heuristic")
-		dir     = flag.String("direction", "", "default traversal direction policy")
-		sortM   = flag.String("sort", "", "default distributed frontier sort mode")
-		compS   = flag.Bool("compsched", false, "enable component scheduling by default (small components ordered concurrently)")
-		compT   = flag.Int("compthreshold", 0, "default component-scheduling size threshold (0 = built-in default)")
+		addr      = flag.String("addr", ":8077", "HTTP listen address")
+		drainWait = flag.Duration("drain-wait", 2*time.Second, "time to advertise draining on /healthz before closing the listener, so routing tiers stop sending new work")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "queued-job bound before backpressure (0 = 4 × workers)")
+		cacheMB   = flag.Int64("cache-mb", 256, "result cache byte budget in MiB (negative disables caching)")
+		maxUpMB   = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB (decoded matrices are ~8-16x larger)")
+		backend   = flag.String("backend", "", "default backend: sequential|algebraic|shared|distributed")
+		procs     = flag.Int("procs", 0, "default simulated process count for the distributed backend")
+		threads   = flag.Int("threads", 0, "default thread count (shared backend / distributed model)")
+		heur      = flag.String("heuristic", "", "default starting-vertex heuristic")
+		dir       = flag.String("direction", "", "default traversal direction policy")
+		sortM     = flag.String("sort", "", "default distributed frontier sort mode")
+		compS     = flag.Bool("compsched", false, "enable component scheduling by default (small components ordered concurrently)")
+		compT     = flag.Int("compthreshold", 0, "default component-scheduling size threshold (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -72,13 +80,22 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("rcmserve: shutting down")
+		// Graceful drain: advertise 503 on /healthz first so routing
+		// tiers (rcmproxy) take this replica out of rotation, keep
+		// serving on open connections for drain-wait, then close the
+		// listener and let in-flight requests finish.
+		svc.SetDraining(true)
+		log.Printf("rcmserve: draining (healthz 503) for %s", *drainWait)
+		time.Sleep(*drainWait)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("rcmserve: shutdown: %v", err)
 		}
 		svc.Close()
+		if final, err := json.Marshal(svc.Stats()); err == nil {
+			log.Printf("rcmserve: final stats %s", final)
+		}
 	}()
 
 	log.Printf("rcmserve: listening on %s", *addr)

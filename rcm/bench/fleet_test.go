@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/rcm"
+)
+
+// fleetBenchParams is the reduced sweep BenchmarkFleet runs: enough
+// modelled miss work to measure routing-tier scaling, small enough for
+// CI's bench-smoke lane.
+func fleetBenchParams() fleetParams {
+	return fleetParams{
+		replicaCounts: []int{1, 4},
+		hitRatios:     []float64{0.9},
+		// 48 distinct keys: fewer makes the hash assignment lumpy enough
+		// (even with spill) to drag the 4-replica speedup under 3x.
+		missTarget: 48,
+		clients:    16,
+		// Same modelled miss cost as RunFleet: shorter costs let fixed
+		// per-request overhead (HTTP round trips, digest decode) eat
+		// into the modelled-work speedup.
+		missCost: 40_000_000, // 40ms
+	}
+}
+
+// TestRunFleetSmoke runs the smallest meaningful sweep end to end and
+// checks the contract the full experiment demonstrates: QPS grows with
+// replica count and the sharded fleet's achieved hit ratio stays at
+// single-node parity.
+func TestRunFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots in-process HTTP fleets with modelled miss sleeps")
+	}
+	var buf bytes.Buffer
+	p := fleetParams{
+		replicaCounts: []int{1, 2},
+		hitRatios:     []float64{0.5},
+		missTarget:    8,
+		clients:       8,
+		missCost:      10_000_000, // 10ms
+	}
+	rows := runFleet(Config{Out: &buf}, p)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	single, double := rows[0], rows[1]
+	if double.QPS <= single.QPS {
+		t.Errorf("2 replicas (%.0f qps) not faster than 1 (%.0f qps)", double.QPS, single.QPS)
+	}
+	for _, r := range rows {
+		if diff := r.AchievedHitRatio - r.TargetHitRatio; diff < -0.05 || diff > 0.05 {
+			t.Errorf("%d replicas: achieved hit ratio %.2f vs target %.2f (>5%% off)", r.Replicas, r.AchievedHitRatio, r.TargetHitRatio)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteFleetCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(csv.Bytes(), []byte("\n")); got != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 rows", got)
+	}
+}
+
+// BenchmarkFleet is the CI-gated form of the fleet experiment: one full
+// request sweep per iteration at 0.9 hit ratio, for 1 and 4 replicas.
+// ns/op is the wall time of the sweep (dominated by deterministic
+// modelled miss costs, so it is stable enough for the bench-smoke
+// regression gate); the qps metric is the headline number, and the
+// 4-replica sweep should run ≥3x the 1-replica QPS.
+func BenchmarkFleet(b *testing.B) {
+	p := fleetBenchParams()
+	a := rcm.Grid2D(30, 20)
+	var bin bytes.Buffer
+	if err := rcm.WriteBinary(&bin, a); err != nil {
+		b.Fatal(err)
+	}
+	body := bin.Bytes()
+	for _, n := range p.replicaCounts {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			var qps float64
+			for i := 0; i < b.N; i++ {
+				row := runFleetPoint(body, n, p.hitRatios[0], p)
+				qps = row.QPS
+			}
+			b.ReportMetric(qps, "qps")
+		})
+	}
+}

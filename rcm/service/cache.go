@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"time"
+	"unsafe"
 )
 
 // lruCache is the content-addressed result cache: key = matrix digest +
@@ -62,21 +63,43 @@ func (c *lruCache) put(key string, val any, size int64) {
 	}
 }
 
-// responseBytes estimates a cache entry's resident size: the permutation
-// dominates, plus a fixed overhead for the stats, key strings and list
-// bookkeeping.
+// lruEntryOverheadBytes approximates the bookkeeping wrapped around every
+// cached value: the cacheEntry struct, its list.Element (five words), and
+// the items map slot (string header + element pointer + bucket share).
+// The entry's key string shares its bytes with the response's Key field,
+// so only the headers are counted here; the bytes count once, below.
+const lruEntryOverheadBytes = int64(unsafe.Sizeof(cacheEntry{})) + 48 + 64
+
+// responseBytes accounts a cached ordering's resident size exactly as
+// stored: the Response struct itself (embedded before/after stats
+// included), its Key string, the permutation slice, the modelled
+// breakdown with its per-phase entries and name strings, the component
+// scheduler's stats when present, and the LRU bookkeeping around the
+// entry. OPERATIONS.md's fleet cache-sizing math divides budgets by this
+// number, so everything the entry keeps alive must be counted — the
+// permutation slice is ~everything for large matrices, but on small-matrix
+// fleets the fixed part dominates and undercounting it once per entry
+// multiplies across tens of thousands of entries.
 func responseBytes(r *Response) int64 {
-	b := int64(8*len(r.Perm)) + 512
+	b := lruEntryOverheadBytes + int64(unsafe.Sizeof(*r)) + int64(len(r.Key)) + int64(8*len(r.Perm))
 	if r.Modeled != nil {
-		b += int64(64 * len(r.Modeled.Phases))
+		b += int64(unsafe.Sizeof(*r.Modeled))
+		for _, p := range r.Modeled.Phases {
+			b += int64(unsafe.Sizeof(p)) + int64(len(p.Name))
+		}
+	}
+	if r.ComponentStats != nil {
+		b += int64(unsafe.Sizeof(*r.ComponentStats))
 	}
 	return b
 }
 
-// componentsBytes estimates a cached ComponentsResponse's resident size:
-// the per-vertex labels dominate, then the per-component sizes.
+// componentsBytes accounts a cached ComponentsResponse the same way: the
+// struct, its Key string, and the per-vertex label and per-component size
+// slices (8 bytes per int), plus the LRU bookkeeping.
 func componentsBytes(r *ComponentsResponse) int64 {
-	return int64(8*len(r.Labels)) + int64(8*len(r.Sizes)) + 256
+	return lruEntryOverheadBytes + int64(unsafe.Sizeof(*r)) + int64(len(r.Key)) +
+		int64(8*(len(r.Labels)+len(r.Sizes)))
 }
 
 // latencyHist is one backend's wall-clock latency histogram: cumulative

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// hotCache is the proxy-side hot-key LRU: complete buffered responses
+// keyed by flight key (cache key + raw query), so a repeat of a hot
+// request is answered without touching the network at all. It is tiny by
+// design — the replicas' own caches are the system of record; this only
+// shaves the fan-in on keys everyone asks for. Off by default
+// (Config.HotCacheBytes = 0) so replica-level cache behaviour stays
+// observable end to end.
+type hotCache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type hotEntry struct {
+	key   string
+	res   *upstreamResult
+	bytes int64
+}
+
+func newHotCache(capacity int64) *hotCache {
+	return &hotCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *hotCache) get(key string) *upstreamResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*hotEntry).res
+}
+
+func (c *hotCache) put(key string, res *upstreamResult) {
+	size := res.bytes() + int64(len(key))
+	if size > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&hotEntry{key: key, res: res, bytes: size})
+	c.bytes += size
+	for c.bytes > c.capacity {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*hotEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+	}
+}

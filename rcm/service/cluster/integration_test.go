@@ -1,0 +1,245 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/rcm"
+	"repro/rcm/service"
+	"repro/rcm/service/cluster"
+)
+
+// fleet spins n real rcmserve replicas (full service + HTTP handler, no
+// stubs) behind a Proxy and returns the proxy's test server plus the
+// underlying services for draining and stats inspection.
+type fleet struct {
+	proxy    *cluster.Proxy
+	ts       *httptest.Server
+	services []*service.Service
+}
+
+func newFleet(t *testing.T, n int, cfg cluster.Config) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		svc := service.New(service.Config{Workers: 1})
+		t.Cleanup(svc.Close)
+		ts := httptest.NewServer(service.NewHandler(svc))
+		t.Cleanup(ts.Close)
+		f.services = append(f.services, svc)
+		cfg.Replicas = append(cfg.Replicas, cluster.Replica{ID: fmt.Sprintf("r%d", i), URL: ts.URL})
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = -1
+	}
+	p, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	f.proxy = p
+	f.ts = httptest.NewServer(p)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func postOrder(t *testing.T, url string, a *rcm.Matrix, query string) (*service.Response, *http.Response) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	u := url + "/v1/order"
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := http.Post(u, service.ContentTypeMatrixMarket, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/order: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out service.Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp
+}
+
+// TestFleetOrderingsMatchDirect is the end-to-end correctness contract:
+// an ordering served through proxy -> replica -> service must be
+// byte-identical to calling rcm.Order in-process, and a repeat of the
+// same request must hit the same replica's cache.
+func TestFleetOrderingsMatchDirect(t *testing.T) {
+	f := newFleet(t, 3, cluster.Config{})
+
+	for seed := int64(1); seed <= 4; seed++ {
+		a, _ := rcm.Scramble(rcm.Grid2D(12, 9), seed)
+		want, err := rcm.Order(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, httpResp := postOrder(t, f.ts.URL, a, "")
+		if len(got.Perm) != len(want.Perm) {
+			t.Fatalf("seed %d: perm length %d vs direct %d", seed, len(got.Perm), len(want.Perm))
+		}
+		for i := range want.Perm {
+			if got.Perm[i] != want.Perm[i] {
+				t.Fatalf("seed %d: perm[%d] = %d through the fleet, %d direct", seed, i, got.Perm[i], want.Perm[i])
+			}
+		}
+		if got.Key == "" || httpResp.Header.Get("X-RCM-Key") != got.Key {
+			t.Errorf("seed %d: X-RCM-Key header %q vs body key %q", seed, httpResp.Header.Get("X-RCM-Key"), got.Key)
+		}
+
+		first := httpResp.Header.Get("X-RCM-Replica")
+		again, httpResp2 := postOrder(t, f.ts.URL, a, "")
+		if !again.Cached {
+			t.Errorf("seed %d: repeat request missed the fleet cache", seed)
+		}
+		if second := httpResp2.Header.Get("X-RCM-Replica"); second != first {
+			t.Errorf("seed %d: repeat landed on %s, first on %s — routing is not stable", seed, second, first)
+		}
+		if httpResp2.Header.Get("X-Cache") != "hit" {
+			t.Errorf("seed %d: repeat X-Cache = %q, want hit", seed, httpResp2.Header.Get("X-Cache"))
+		}
+	}
+}
+
+// TestFleetHitRatioParity replays the same two-pass workload against a
+// single replica and against a 3-replica fleet: because routing is
+// key-sharded, the fleet's aggregate hit ratio must match the single
+// node's exactly — sharding must not cost cache locality.
+func TestFleetHitRatioParity(t *testing.T) {
+	workload := func(t *testing.T, url string) {
+		for pass := 0; pass < 2; pass++ {
+			for seed := int64(1); seed <= 6; seed++ {
+				a, _ := rcm.Scramble(rcm.Grid2D(10, 8), seed)
+				postOrder(t, url, a, "perm=0")
+			}
+		}
+	}
+
+	single := newFleet(t, 1, cluster.Config{})
+	workload(t, single.ts.URL)
+	fleet3 := newFleet(t, 3, cluster.Config{})
+	workload(t, fleet3.ts.URL)
+
+	sum := func(f *fleet) (hits, misses uint64) {
+		for _, svc := range f.services {
+			st := svc.Stats()
+			hits += st.Hits
+			misses += st.Misses
+		}
+		return
+	}
+	h1, m1 := sum(single)
+	h3, m3 := sum(fleet3)
+	if h1 != 6 || m1 != 6 {
+		t.Fatalf("single node: hits=%d misses=%d, want 6/6", h1, m1)
+	}
+	if h3 != h1 || m3 != m1 {
+		t.Errorf("3-replica fleet: hits=%d misses=%d, single node %d/%d — sharded routing lost locality", h3, m3, h1, m1)
+	}
+}
+
+// TestFleetDrainReroute drains one replica mid-workload (as rcmserve does
+// on SIGTERM): the prober sees the 503 and its keys re-route to the
+// survivors; results stay correct.
+func TestFleetDrainReroute(t *testing.T) {
+	f := newFleet(t, 2, cluster.Config{HealthInterval: 20 * time.Millisecond})
+	a, _ := rcm.Scramble(rcm.Grid2D(10, 8), 3)
+
+	// Find the replica serving this matrix, then drain it.
+	resp, httpResp := postOrder(t, f.ts.URL, a, "")
+	homeID := httpResp.Header.Get("X-RCM-Replica")
+	var home int
+	fmt.Sscanf(homeID, "r%d", &home)
+	f.services[home].SetDraining(true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.proxy.RoutingStats().Healthy[homeID] {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never noticed the draining replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	reresp, httpResp2 := postOrder(t, f.ts.URL, a, "")
+	if got := httpResp2.Header.Get("X-RCM-Replica"); got == homeID {
+		t.Errorf("draining replica %s still serving", homeID)
+	}
+	if len(reresp.Perm) != len(resp.Perm) {
+		t.Fatal("re-routed response has different perm length")
+	}
+	for i := range resp.Perm {
+		if reresp.Perm[i] != resp.Perm[i] {
+			t.Fatalf("re-routed ordering differs at %d", i)
+		}
+	}
+
+	// Recovery: undrain and the keys come home.
+	f.services[home].SetDraining(false)
+	for !f.proxy.RoutingStats().Healthy[homeID] {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never saw recovery")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, httpResp3 := postOrder(t, f.ts.URL, a, "")
+	if got := httpResp3.Header.Get("X-RCM-Replica"); got != homeID {
+		t.Errorf("recovered replica %s did not resume serving its key (got %s)", homeID, got)
+	}
+}
+
+// TestFleetComponents routes /v1/components through the proxy: same
+// digest-addressed sharding, cache hit on repeat.
+func TestFleetComponents(t *testing.T) {
+	f := newFleet(t, 2, cluster.Config{})
+	a, _ := rcm.Scramble(rcm.Grid2D(8, 8), 7)
+	var buf bytes.Buffer
+	if err := rcm.WriteMatrixMarket(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	var firstReplica string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(f.ts.URL+"/v1/components", service.ContentTypeMatrixMarket, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("components: HTTP %d: %s", resp.StatusCode, b)
+		}
+		var out service.ComponentsResponse
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Count != 1 {
+			t.Errorf("grid has %d components, want 1", out.Count)
+		}
+		switch i {
+		case 0:
+			firstReplica = resp.Header.Get("X-RCM-Replica")
+		case 1:
+			if resp.Header.Get("X-Cache") != "hit" {
+				t.Errorf("repeat components request: X-Cache %q, want hit", resp.Header.Get("X-Cache"))
+			}
+			if got := resp.Header.Get("X-RCM-Replica"); got != firstReplica {
+				t.Errorf("components re-routed %s -> %s", firstReplica, got)
+			}
+		}
+	}
+}

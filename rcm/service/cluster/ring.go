@@ -1,0 +1,169 @@
+// Package cluster is the routing tier for a fleet of rcmserve replicas: a
+// consistent-hash ring over the service layer's content-addressed cache
+// keys, and a Proxy that fronts the replicas with request coalescing,
+// admission control and fleet-wide stats aggregation. Command rcmproxy
+// exposes a Proxy over HTTP.
+//
+// Routing is deterministic: a key's home replica depends only on the
+// replica ID set and the key, never on process state, so independent
+// proxies (and restarts of the same proxy) send a given matrix+options to
+// the same replica — which is what turns N independent caches into one
+// sharded cache with an aggregate hit ratio matching a single node's.
+// When membership changes, consistent hashing bounds the reshuffle: adding
+// or removing one of N replicas moves about 1/N of the keyspace, so the
+// rest of the fleet's cache stays warm. Rendezvous hashing is the churn
+// fallback for keys whose home replica is unhealthy — it spreads exactly
+// that replica's keys evenly over the survivors without moving anyone
+// else's.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per replica. 64 points per
+// replica keeps the max/mean keyspace imbalance under ~20% for small
+// fleets while the ring stays a few KiB.
+const DefaultVNodes = 64
+
+// hash64 is the ring's hash: FNV-64a over the concatenated parts, passed
+// through a murmur3-style finalizer. FNV is deliberate — deterministic
+// across processes and Go versions (no per-process seed, unlike maphash),
+// which the restart-stability contract requires — but raw FNV of short
+// inputs like vnode labels barely avalanches (measured: one of five
+// replicas owning 42% of the ring at 64 vnodes), so the finalizer mixes
+// the state before it becomes a ring position.
+func hash64(parts ...string) uint64 {
+	f := fnv.New64a()
+	for _, p := range parts {
+		f.Write([]byte(p))
+	}
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: a position on the ring owned by a replica.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over a replica ID set. Build
+// one with NewRing; rebuild when membership changes (membership is an
+// operator action, not a hot path).
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds the ring for the given replica IDs with vnodes virtual
+// nodes each (0 means DefaultVNodes). Duplicate IDs are collapsed. The
+// ring is identical for any permutation of ids.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	members := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	sort.Strings(members)
+	r := &Ring{points: make([]ringPoint, 0, len(members)*vnodes), members: members}
+	var buf [20]byte
+	for _, id := range members {
+		for v := 0; v < vnodes; v++ {
+			// id "#" v — the separator keeps ("a", 11) and ("a1", 1)
+			// from colliding by construction.
+			r.points = append(r.points, ringPoint{hash: hash64(id, "#", string(itoa(buf[:0], v))), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // total order even on hash collision
+	})
+	return r
+}
+
+// itoa appends the decimal form of v without importing strconv's
+// allocation path into the hash loop.
+func itoa(dst []byte, v int) []byte {
+	if v >= 10 {
+		dst = itoa(dst, v/10)
+	}
+	return append(dst, byte('0'+v%10))
+}
+
+// Members returns the replica IDs on the ring, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Pick returns the home replica for key: the owner of the first virtual
+// node at or clockwise of the key's hash. Empty ring returns "".
+func (r *Ring) Pick(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].id
+}
+
+// Successors returns up to max distinct replica IDs in ring order starting
+// with the home replica — the deterministic spill order the proxy walks
+// when earlier choices are saturated or unhealthy. max <= 0 means all
+// members.
+func (r *Ring) Successors(key string, max int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.members) {
+		max = len(r.members)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i, start := 0, r.search(key); i < len(r.points) && len(out) < max; i++ {
+		id := r.points[(start+i)%len(r.points)].id
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after the key's hash,
+// wrapping past the last point to the first.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Rendezvous picks the highest-random-weight replica for key among ids:
+// the id maximizing hash64(id, "\x00", key). Used when a key's ring home
+// is unhealthy — unlike walking the ring (which would dump the dead
+// replica's whole arc onto its single successor), HRW redistributes the
+// dead replica's keys evenly over the survivors, and keys whose home is
+// alive never move. Deterministic: ties break toward the smaller id.
+func Rendezvous(ids []string, key string) string {
+	best, bestHash := "", uint64(0)
+	for _, id := range ids {
+		h := hash64(id, "\x00", key)
+		if best == "" || h > bestHash || (h == bestHash && id < best) {
+			best, bestHash = id, h
+		}
+	}
+	return best
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like real cache keys: hex digest | options fingerprint.
+		out[i] = fmt.Sprintf("%064x|rcmopt/2 backend=sequential start=%d", i*2654435761, i)
+	}
+	return out
+}
+
+// TestRingDeterministic pins the routing function: the same members and
+// key must map to the same replica regardless of construction order,
+// across restarts, and across releases. The golden literals are part of
+// the fleet's operational contract — changing the hash or vnode layout
+// invalidates every warm cache in a rolling restart, so it must never
+// happen silently.
+func TestRingDeterministic(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 64)
+	golden := map[string]string{
+		keys(8)[0]: "c",
+		keys(8)[1]: "d",
+		keys(8)[2]: "a",
+		keys(8)[3]: "d",
+		keys(8)[4]: "d",
+		keys(8)[5]: "c",
+		keys(8)[6]: "c",
+		keys(8)[7]: "d",
+	}
+	for k, want := range golden {
+		if got := r.Pick(k); got != want {
+			t.Errorf("Pick(%.20s...) = %q, want pinned %q", k, got, want)
+		}
+	}
+
+	perms := [][]string{
+		{"d", "c", "b", "a"},
+		{"b", "d", "a", "c"},
+		{"c", "a", "d", "b", "b", "a"}, // duplicates collapse
+	}
+	for _, ids := range perms {
+		r2 := NewRing(ids, 64)
+		for _, k := range keys(200) {
+			if r.Pick(k) != r2.Pick(k) {
+				t.Fatalf("construction order changed routing: ids=%v key=%.20s...", ids, k)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count keeps shard sizes sane: no
+// replica owns more than 2x its fair share of a large key sample.
+func TestRingBalance(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3", "r4"}
+	r := NewRing(members, 0) // DefaultVNodes
+	counts := map[string]int{}
+	ks := keys(5000)
+	for _, k := range ks {
+		counts[r.Pick(k)]++
+	}
+	fair := len(ks) / len(members)
+	for _, id := range members {
+		if counts[id] == 0 {
+			t.Errorf("replica %s owns no keys", id)
+		}
+		if counts[id] > 2*fair {
+			t.Errorf("replica %s owns %d of %d keys (>2x fair share %d)", id, counts[id], len(ks), fair)
+		}
+	}
+}
+
+// TestRingAddMovesBounded is the consistent-hashing contract on scale-up:
+// adding one replica to N moves roughly 1/(N+1) of the keyspace — and
+// every key that moves, moves to the new replica (nobody else's cache
+// goes cold).
+func TestRingAddMovesBounded(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"}, 0)
+	after := NewRing([]string{"a", "b", "c", "d", "e"}, 0)
+	ks := keys(4000)
+	moved := 0
+	for _, k := range ks {
+		b, a := before.Pick(k), after.Pick(k)
+		if b != a {
+			moved++
+			if a != "e" {
+				t.Fatalf("key moved %s -> %s; on scale-up keys may only move to the new replica", b, a)
+			}
+		}
+	}
+	// Fair share is 1/5; allow 2x for vnode placement variance.
+	if limit := 2 * len(ks) / 5; moved > limit {
+		t.Errorf("adding 1 of 5 replicas moved %d/%d keys, want <= %d", moved, len(ks), limit)
+	}
+	if moved == 0 {
+		t.Error("new replica owns nothing")
+	}
+}
+
+// TestRingRemoveMovesOnly is the contract on failure/scale-down: exactly
+// the removed replica's keys move; every other key keeps its home.
+func TestRingRemoveMovesOnly(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"}, 0)
+	after := NewRing([]string{"a", "b", "d"}, 0)
+	for _, k := range keys(4000) {
+		b, a := before.Pick(k), after.Pick(k)
+		if b != "c" && b != a {
+			t.Fatalf("key homed on %s moved to %s when only c was removed", b, a)
+		}
+		if b == "c" && a == "c" {
+			t.Fatal("removed replica still owns keys")
+		}
+	}
+}
+
+// TestRendezvous pins the HRW fallback the proxy uses when a key's ring
+// home is unhealthy: deterministic, reasonably balanced, and removing one
+// member moves only that member's keys.
+func TestRendezvous(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	ks := keys(4000)
+	counts := map[string]int{}
+	for _, k := range ks {
+		counts[Rendezvous(members, k)]++
+	}
+	fair := len(ks) / len(members)
+	for _, id := range members {
+		if counts[id] < fair/2 || counts[id] > 2*fair {
+			t.Errorf("rendezvous gives %s %d of %d keys (fair %d)", id, counts[id], len(ks), fair)
+		}
+	}
+	survivors := []string{"a", "b", "d"}
+	for _, k := range ks {
+		b, a := Rendezvous(members, k), Rendezvous(survivors, k)
+		if b != "c" && b != a {
+			t.Fatalf("rendezvous moved a key homed on %s when c died", b)
+		}
+	}
+}
+
+// TestSuccessors checks the spill order: starts at the key's home, visits
+// every member exactly once, deterministically.
+func TestSuccessors(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 0)
+	for _, k := range keys(50) {
+		succ := r.Successors(k, 0)
+		if len(succ) != 4 {
+			t.Fatalf("Successors covers %d of 4 members", len(succ))
+		}
+		if succ[0] != r.Pick(k) {
+			t.Fatalf("spill order starts at %s, want home %s", succ[0], r.Pick(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range succ {
+			if seen[id] {
+				t.Fatalf("duplicate %s in spill order", id)
+			}
+			seen[id] = true
+		}
+		if got := r.Successors(k, 2); len(got) != 2 || got[0] != succ[0] || got[1] != succ[1] {
+			t.Fatalf("Successors(max=2) = %v, want prefix of %v", got, succ)
+		}
+	}
+}

@@ -12,6 +12,14 @@ import (
 // fingerprint, which never contains this tag).
 const componentsKeySuffix = "|components/1"
 
+// ComponentsKey returns the content-addressed cache key a components
+// request resolves to for a matrix with the given pattern digest. The
+// result is independent of the thread count, so the digest alone (plus a
+// result-kind tag) addresses it. Exported for routing tiers (package
+// cluster), which shard component requests by the same key the replica
+// will cache them under.
+func ComponentsKey(digest string) string { return digest + componentsKeySuffix }
+
 // ComponentsResponse is one served connected-components analysis.
 // Labels and Sizes are shared with the service's cache — treat them as
 // read-only.
@@ -56,7 +64,7 @@ func (s *Service) Components(ctx context.Context, a *rcm.Matrix, threads int) (*
 	if a == nil {
 		return nil, fmt.Errorf("service: nil matrix")
 	}
-	key := a.Digest() + componentsKeySuffix
+	key := ComponentsKey(a.Digest())
 
 	s.mu.Lock()
 	if s.closed {

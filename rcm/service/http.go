@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,12 +40,15 @@ const (
 //	                     parallel pass, labels=0 omits the per-vertex labels.
 //	GET  /v1/stats       the Stats snapshot as JSON
 //	GET  /metrics        the same counters in Prometheus text format
-//	GET  /healthz        liveness probe
+//	GET  /healthz        liveness probe (503 "draining" after SetDraining)
 //
 // Responses to /v1/order are the Response type as JSON and responses to
 // /v1/components the ComponentsResponse type, both with an X-Cache header
-// (hit | miss | dedup) for quick curl inspection. See OPERATIONS.md for the
-// full API reference with examples.
+// (hit | miss | dedup) for quick curl inspection and an X-RCM-Key header
+// carrying the content-addressed cache key, so clients and routing tiers
+// can pre-route repeat requests (see package cluster) and debug shard
+// placement without recomputing digests. See OPERATIONS.md for the full
+// API reference with examples.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/order", func(w http.ResponseWriter, r *http.Request) { handleOrder(s, w, r) })
@@ -58,6 +62,14 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			// A draining replica still answers requests (finish what's in
+			// flight), but advertises 503 here so a routing tier stops
+			// sending it new work before the listener closes.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
@@ -166,6 +178,7 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("X-Cache", "miss")
 	}
+	w.Header().Set("X-RCM-Key", resp.Key)
 	if !includePerm {
 		trimmed := *resp
 		trimmed.Perm = nil
@@ -218,12 +231,50 @@ func handleComponents(s *Service, w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("X-Cache", "miss")
 	}
+	w.Header().Set("X-RCM-Key", resp.Key)
 	if !includeLabels {
 		trimmed := *resp
 		trimmed.Labels = nil
 		resp = &trimmed
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ErrUnsupportedContentType is wrapped by DecodeMatrix for content types
+// the upload API does not accept (the HTTP layer maps it to 415).
+var ErrUnsupportedContentType = errors.New("service: unsupported Content-Type")
+
+// DecodeMatrix decodes a buffered matrix upload under the same
+// Content-Type mapping POST /v1/order applies: Matrix Market text
+// (ContentTypeMatrixMarket, text/plain, x-www-form-urlencoded or unset)
+// or the RCMB compact binary (ContentTypeBinary, octet-stream). Exported
+// for routing tiers (package cluster), which must decode a body to learn
+// its cache key before a replica sees it; the server's own handler keeps
+// streaming text bodies and never calls this.
+func DecodeMatrix(contentType string, body []byte) (*rcm.Matrix, error) {
+	ct := contentType
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt // drop parameters like "; charset=utf-8"
+	}
+	switch ct {
+	case ContentTypeMatrixMarket, "text/plain", "application/x-www-form-urlencoded", "":
+		a, _, err := rcm.ReadMatrixMarket(bytes.NewReader(body))
+		return a, err
+	case ContentTypeBinary, "application/octet-stream":
+		return rcm.ReadBinaryBytes(body, 0)
+	default:
+		return nil, fmt.Errorf("%w %q (want %s or %s)",
+			ErrUnsupportedContentType, contentType, ContentTypeMatrixMarket, ContentTypeBinary)
+	}
+}
+
+// SpecFromQuery decodes the /v1/order query parameters into a Spec plus
+// the perm-inclusion flag, rejecting unknown names and unparsable numbers
+// exactly as the server's handler does. Exported so a routing tier can
+// resolve a request's options — and from them, via Overlay and OrderKey,
+// its cache key — without a Service.
+func SpecFromQuery(q url.Values) (sp Spec, includePerm bool, err error) {
+	return specFromQuery(q)
 }
 
 // specFromQuery decodes the ordering options of one request from its URL

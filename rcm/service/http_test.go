@@ -52,6 +52,9 @@ func postMatrix(t *testing.T, client *http.Client, base string, p pair, binary b
 	if err := json.Unmarshal(payload, &out); err != nil {
 		t.Fatalf("%s: %v", p.name, err)
 	}
+	if hk := resp.Header.Get("X-RCM-Key"); hk != out.Key || hk == "" {
+		t.Fatalf("%s: X-RCM-Key %q does not match response key %q", p.name, hk, out.Key)
+	}
 	return &out
 }
 
@@ -313,5 +316,20 @@ func TestHTTPObservability(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+
+	// Draining flips the probe to 503 so routing tiers stop sending new
+	// work — but requests in flight (and new ones on open connections)
+	// still serve.
+	svc.SetDraining(true)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/healthz while draining: %d %q, want 503 draining", code, body)
+	}
+	if resp := postMatrix(t, ts.Client(), ts.URL, p, false); !resp.Cached {
+		t.Error("draining service refused a request; drain should finish work, not reject it")
+	}
+	svc.SetDraining(false)
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz after drain cleared: %d, want 200", code)
 	}
 }

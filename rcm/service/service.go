@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/rcm"
@@ -182,10 +183,11 @@ type job struct {
 // freely across goroutines, and Close it when done. All exported methods
 // are goroutine-safe.
 type Service struct {
-	cfg  Config
-	jobs chan *job
-	quit chan struct{}
-	wg   sync.WaitGroup
+	cfg      Config
+	jobs     chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	closed  bool
@@ -233,6 +235,32 @@ func New(cfg Config) *Service {
 	}
 	return s
 }
+
+// OrderKey returns the content-addressed cache key an ordering request
+// resolves to: the matrix pattern digest joined with the canonical
+// fingerprint of sp's resolved option set. It is exactly the key Order
+// uses (and the Response.Key / X-RCM-Key value a server reports), exported
+// so routing tiers — the rcmproxy consistent-hash front end in package
+// cluster — can place a request on a replica without running it. Callers
+// fronting a server configured with a DefaultSpec should pass
+// defaults.Overlay(sp) to reproduce that server's key.
+func OrderKey(digest string, sp Spec) (string, error) {
+	opts, err := sp.Options()
+	if err != nil {
+		return "", err
+	}
+	return digest + "|" + rcm.OptionsFingerprint(opts...), nil
+}
+
+// SetDraining marks the service as draining (or clears the mark): Healthz
+// turns 503 so routing tiers stop sending new work, while Order keeps
+// serving — the point is to finish in-flight and imminent requests, not to
+// refuse them. Command rcmserve sets it on SIGTERM before closing the
+// listener; see the graceful-drain sequence in OPERATIONS.md.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) was called.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Order serves one ordering request: from the cache when the content
 // address is known, by joining an identical in-flight computation when one

@@ -192,11 +192,22 @@ func TestCacheEviction(t *testing.T) {
 	a1, _ := rcm.Scramble(rcm.Grid2D(30, 10), 1)
 	a2, _ := rcm.Scramble(rcm.Grid2D(30, 10), 2)
 	a3, _ := rcm.Scramble(rcm.Grid2D(30, 10), 3)
-	// Each entry is ~8·300 B of permutation + 512 B overhead; budget two.
-	svc := service.New(service.Config{Workers: 2, CacheBytes: 2 * (8*300 + 512)})
-	defer svc.Close()
-
 	ctx := context.Background()
+
+	// Probe one entry's accounted size (all three are the same shape:
+	// same n, same options, same key length), then budget two and a half
+	// entries — the third insert must evict.
+	probe := service.New(service.Config{Workers: 1})
+	if _, err := probe.Order(ctx, a1, service.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	entryBytes := probe.Stats().Bytes
+	probe.Close()
+	if entryBytes == 0 {
+		t.Fatal("probe cached nothing")
+	}
+	svc := service.New(service.Config{Workers: 2, CacheBytes: entryBytes * 5 / 2})
+	defer svc.Close()
 	for _, a := range []*rcm.Matrix{a1, a2, a3} {
 		if _, err := svc.Order(ctx, a, service.Spec{}); err != nil {
 			t.Fatal(err)

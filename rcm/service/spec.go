@@ -129,6 +129,12 @@ func (sp Spec) Options() ([]rcm.Option, error) {
 	return opts, nil
 }
 
+// Overlay fills req's unset fields from base and returns the merged spec —
+// the resolution a server with DefaultSpec base applies to an incoming
+// request. Exported so a routing tier configured with the same defaults
+// computes the same cache key (OrderKey) as the replica it routes to.
+func (base Spec) Overlay(req Spec) Spec { return base.overlay(req) }
+
 // overlay fills the request spec's unset fields from the base (the server's
 // DefaultSpec), so per-request options always win over server defaults.
 func (base Spec) overlay(req Spec) Spec {
