@@ -44,7 +44,7 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "queued requests per replica before shedding with 429 (0 = 4 x max-inflight)")
 		hotMB       = flag.Int64("hot-mb", 0, "proxy-side hot-key response cache in MiB (0 disables)")
 		maxUpMB     = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB")
-		healthIvl   = flag.Duration("health-interval", 2*time.Second, "replica /healthz probe period (negative disables)")
+		healthIvl   = flag.Duration("health-interval", 2*time.Second, "replica /healthz probe period (negative disables probing; errored replicas then rejoin after a short cooldown)")
 		backend     = flag.String("backend", "", "replicas' default backend (must mirror the rcmserve flags)")
 		procs       = flag.Int("procs", 0, "replicas' default simulated process count")
 		threads     = flag.Int("threads", 0, "replicas' default thread count")

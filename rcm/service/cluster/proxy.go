@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,7 +55,8 @@ type Config struct {
 	MaxUploadBytes int64
 	// HealthInterval is the /healthz probe period (0 defaults to 2s;
 	// negative disables probing — replicas then stay healthy until a
-	// transport error proves otherwise).
+	// transport error proves otherwise, and an errored replica re-enters
+	// rotation after passiveCooldown instead of waiting for a probe).
 	HealthInterval time.Duration
 	// DefaultSpec must mirror the replicas' own default spec: the proxy
 	// overlays it onto each request's options to compute the same cache
@@ -97,6 +100,13 @@ type Proxy struct {
 	wg        sync.WaitGroup
 }
 
+// passiveCooldown is how long a replica that failed with a transport
+// error stays out of rotation when health probing is disabled
+// (HealthInterval < 0). With no prober to re-admit it, the proxy retries
+// it after this window — otherwise one transient error would remove the
+// replica for the proxy's lifetime. A var so tests can shrink it.
+var passiveCooldown = 5 * time.Second
+
 // replicaState is the proxy's per-replica bookkeeping: the admission
 // semaphore, health flag, and counters.
 type replicaState struct {
@@ -104,7 +114,10 @@ type replicaState struct {
 	base    string // URL with any trailing slash trimmed
 	sem     chan struct{}
 	healthy atomic.Bool
-	waiting atomic.Int64
+	// downUntil is when a transport-errored replica becomes eligible
+	// again (unix nanos); consulted only when probing is disabled.
+	downUntil atomic.Int64
+	waiting   atomic.Int64
 	// requests counts upstream calls sent; shed counts 429s issued on
 	// this replica's behalf; errs counts transport failures.
 	requests atomic.Uint64
@@ -372,6 +385,25 @@ func (p *Proxy) componentsKey(r *http.Request, body []byte) (string, int, error)
 	return service.ComponentsKey(a.Digest()), 0, nil
 }
 
+// flightKeyFor builds the coalescing/hot-cache key: the resolved cache
+// key plus a digest of the exact request bytes (content type and body)
+// plus the raw query. Binding the flight to the request bytes makes
+// replay exactly equivalent to re-issuing the request: two requests share
+// a flight or a hot-cache entry only when a replica could not tell them
+// apart. The body digest is the poisoning guard — the cache key alone can
+// be claimed via the X-RCM-Key header without owning a matching body, and
+// keying flights on it would let a forged (key, body) pair serve its
+// response to honest requests whose bodies genuinely resolve to that key.
+// The query matters because perm/labels trimming shapes the response.
+func flightKeyFor(key string, r *http.Request, body []byte) string {
+	h := sha256.New()
+	io.WriteString(h, r.Header.Get("Content-Type"))
+	h.Write([]byte{0})
+	h.Write(body)
+	var sum [sha256.Size]byte
+	return key + "#" + hex.EncodeToString(h.Sum(sum[:0])) + "#" + r.URL.RawQuery
+}
+
 // handleProxied is the shared order/components path: key resolution, hot
 // cache, single-flight coalescing, routed upstream call, replay.
 func (p *Proxy) handleProxied(w http.ResponseWriter, r *http.Request, path string, keyFn func(*http.Request, []byte) (string, int, error)) {
@@ -384,10 +416,7 @@ func (p *Proxy) handleProxied(w http.ResponseWriter, r *http.Request, path strin
 		writeJSON(w, status, httpError{err.Error()})
 		return
 	}
-	// The flight (and hot-cache) key includes the raw query: two requests
-	// replay each other's bytes only when the full response — including
-	// perm/labels trimming — is identical, not merely the cached result.
-	flightKey := key + "#" + r.URL.RawQuery
+	flightKey := flightKeyFor(key, r, body)
 	if p.hot != nil {
 		if res := p.hot.get(flightKey); res != nil {
 			p.hotHits.Add(1)
@@ -428,9 +457,10 @@ func (p *Proxy) handleProxied(w http.ResponseWriter, r *http.Request, path strin
 		return
 	}
 	// Only cache what the replica confirmed: res.key is the key the replica
-	// derived from the body itself, so a client echoing a stale or wrong
-	// X-RCM-Key can misroute its own request (a documented miss) but cannot
-	// poison the hot cache for honest clients.
+	// derived from the body itself (empty if the replica did not echo one),
+	// so a client echoing a stale or wrong X-RCM-Key can misroute its own
+	// request (a documented miss) but cannot poison the hot cache for
+	// honest clients, and a non-echoing replica is never hot-cached at all.
 	if p.hot != nil && res.status == http.StatusOK && res.key == key {
 		p.hot.put(flightKey, res)
 	}
@@ -450,11 +480,36 @@ func (p *Proxy) writeRouteErr(w http.ResponseWriter, err error) {
 	}
 }
 
-// aliveIDs returns the healthy replica IDs in member order.
-func (p *Proxy) aliveIDs() []string {
+// markDown takes rep out of rotation after a transport error. With
+// probing enabled the prober re-admits it once /healthz answers 200;
+// with probing disabled, alive re-admits it after passiveCooldown.
+func (p *Proxy) markDown(rep *replicaState) {
+	rep.errs.Add(1)
+	rep.downUntil.Store(time.Now().Add(passiveCooldown).UnixNano())
+	rep.healthy.Store(false)
+}
+
+// alive reports whether rep is eligible for routing. When probing is
+// disabled there is no prober to recover an errored replica, so alive
+// re-admits it once its cooldown has passed (passive recovery — the next
+// request to it either succeeds or marks it down for another cooldown).
+func (p *Proxy) alive(rep *replicaState) bool {
+	if rep.healthy.Load() {
+		return true
+	}
+	if p.cfg.HealthInterval < 0 && time.Now().UnixNano() >= rep.downUntil.Load() {
+		rep.healthy.Store(true)
+		return true
+	}
+	return false
+}
+
+// aliveIDs returns the eligible replica IDs in member order, skipping
+// exclude ("" excludes nothing).
+func (p *Proxy) aliveIDs(exclude string) []string {
 	alive := make([]string, 0, len(p.ids))
 	for _, id := range p.ids {
-		if p.replicas[id].healthy.Load() {
+		if id != exclude && p.alive(p.replicas[id]) {
 			alive = append(alive, id)
 		}
 	}
@@ -467,15 +522,16 @@ func (p *Proxy) aliveIDs() []string {
 // bounded-load spill that keeps a saturated shard from serializing the
 // whole fleet. When every candidate is saturated the request queues on
 // the home replica, bounded by MaxQueueDepth; past that it is shed.
-// Returns the acquired replica and whether the request spilled past its
-// home.
-func (p *Proxy) admit(ctx context.Context, key string) (*replicaState, bool, error) {
-	alive := p.aliveIDs()
+// exclude removes one replica from consideration (the transport-failure
+// retry path passes the replica that just failed). Returns the acquired
+// replica and whether the request spilled past its home.
+func (p *Proxy) admit(ctx context.Context, key, exclude string) (*replicaState, bool, error) {
+	alive := p.aliveIDs(exclude)
 	if len(alive) == 0 {
 		return nil, false, errNoHealthy
 	}
 	home := p.ring.Pick(key)
-	if !p.replicas[home].healthy.Load() {
+	if home == exclude || !p.alive(p.replicas[home]) {
 		home = Rendezvous(alive, key)
 	}
 	if rep := p.replicas[home]; rep.tryAcquire() {
@@ -484,7 +540,7 @@ func (p *Proxy) admit(ctx context.Context, key string) (*replicaState, bool, err
 	}
 	for _, id := range p.ring.Successors(key, 0) {
 		rep := p.replicas[id]
-		if id == home || !rep.healthy.Load() {
+		if id == home || id == exclude || !p.alive(rep) {
 			continue
 		}
 		if rep.tryAcquire() {
@@ -515,11 +571,13 @@ func (p *Proxy) admit(ctx context.Context, key string) (*replicaState, bool, err
 }
 
 // forward admits, calls the chosen replica, and on a transport failure
-// marks it unhealthy and retries once on the rendezvous choice among the
-// survivors. HTTP error statuses from a replica are not retried — they
-// are deterministic answers, not infrastructure faults.
+// marks it unhealthy and retries once through admit with the failed
+// replica excluded — so failovers honor the same bounded queue and shed
+// accounting as first attempts. HTTP error statuses from a replica are
+// not retried — they are deterministic answers, not infrastructure
+// faults.
 func (p *Proxy) forward(r *http.Request, path, key string, body []byte) (*upstreamResult, error) {
-	rep, _, err := p.admit(r.Context(), key)
+	rep, _, err := p.admit(r.Context(), key, "")
 	if err != nil {
 		return nil, err
 	}
@@ -530,29 +588,21 @@ func (p *Proxy) forward(r *http.Request, path, key string, body []byte) (*upstre
 	if err == nil {
 		return res, nil
 	}
-	rep.healthy.Store(false)
-	rep.errs.Add(1)
-	alive := p.aliveIDs()
-	if len(alive) == 0 {
-		return nil, err
+	p.markDown(rep)
+	alt, _, err2 := p.admit(r.Context(), key, rep.id)
+	if err2 != nil {
+		if errors.Is(err2, errNoHealthy) {
+			return nil, err // the transport error is the better diagnostic
+		}
+		return nil, err2 // shed: admission's verdict stands for failovers too
 	}
 	p.retries.Add(1)
-	alt := p.replicas[Rendezvous(alive, key)]
-	if !alt.tryAcquire() {
-		select {
-		case alt.sem <- struct{}{}:
-		case <-r.Context().Done():
-			return nil, err
-		case <-p.stop:
-			return nil, err
-		}
-	}
-	defer alt.release()
-	alt.requests.Add(1)
-	res, err2 := p.do(alt, r, path, key, body)
+	res, err2 = func() (*upstreamResult, error) {
+		defer alt.release()
+		return p.do(alt, r, path, key, body)
+	}()
 	if err2 != nil {
-		alt.healthy.Store(false)
-		alt.errs.Add(1)
+		p.markDown(alt)
 		return nil, fmt.Errorf("cluster: retry after %v also failed: %w", err, err2)
 	}
 	return res, nil
@@ -586,18 +636,18 @@ func (p *Proxy) do(rep *replicaState, orig *http.Request, path, key string, body
 		return nil, fmt.Errorf("cluster: replica %s: reading response: %w", rep.id, err)
 	}
 	rep.observe(time.Since(start))
-	res := &upstreamResult{
+	// res.key stays empty when the replica did not echo X-RCM-Key: only a
+	// replica-confirmed key may satisfy the hot-cache guard. Backfilling
+	// the routed key here would make that guard vacuous against replicas
+	// that never echo (version skew, third-party backends).
+	return &upstreamResult{
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),
 		xcache:      resp.Header.Get("X-Cache"),
 		key:         resp.Header.Get("X-RCM-Key"),
 		replica:     rep.id,
 		body:        rb,
-	}
-	if res.key == "" {
-		res.key = key
-	}
-	return res, nil
+	}, nil
 }
 
 // probeLoop polls every replica's /healthz on the configured interval.
@@ -650,7 +700,7 @@ func (p *Proxy) probeOnce(interval time.Duration) {
 
 func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if len(p.aliveIDs()) == 0 {
+	if len(p.aliveIDs("")) == 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no healthy replicas")
 		return

@@ -80,8 +80,12 @@ func newTestProxy(t *testing.T, cfg Config, stubs ...*stubReplica) *Proxy {
 // fast path — routing without body decode, exactly what a client that
 // saved the key from a previous response does).
 func post(t *testing.T, ts *httptest.Server, key string) *http.Response {
+	return postBody(t, ts, key, "body")
+}
+
+func postBody(t *testing.T, ts *httptest.Server, key, body string) *http.Response {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/order", strings.NewReader("body"))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/order", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,6 +179,158 @@ func TestProxyCoalesces(t *testing.T) {
 	}
 	if c := p.RoutingStats().Coalesced; c != n-1 {
 		t.Errorf("coalesced counter %d, want %d", c, n-1)
+	}
+}
+
+// TestProxyCoalesceRequiresIdenticalBody is the coalescing poisoning
+// guard: a request claiming key K via X-RCM-Key with an arbitrary body
+// must not share its flight with an honest request for K carrying a
+// different body — otherwise the honest client would be served the forged
+// body's response. Flights are keyed by (key, body digest, query), so the
+// two requests here must each reach the upstream.
+func TestProxyCoalesceRequiresIdenticalBody(t *testing.T) {
+	block := make(chan struct{})
+	a := newStubReplica(t, "a", block)
+	p := newTestProxy(t, Config{}, a)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	var forged, honest *http.Response
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		forged = postBody(t, ts, "samekey", "forged-body")
+		io.Copy(io.Discard, forged.Body)
+	}()
+	// Wait until the forged request holds its flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.calls.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("forged request never reached the replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		honest = postBody(t, ts, "samekey", "honest-body")
+		io.Copy(io.Discard, honest.Body)
+	}()
+	// The honest request must open its own flight (second upstream call)
+	// rather than wait on the forged one.
+	for a.calls.Load() != 2 {
+		if time.Now().After(deadline) {
+			close(block)
+			t.Fatal("honest request coalesced onto the forged flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	if forged.Header.Get("X-RCM-Coalesced") == "1" || honest.Header.Get("X-RCM-Coalesced") == "1" {
+		t.Error("requests with different bodies marked coalesced")
+	}
+	if c := p.RoutingStats().Coalesced; c != 0 {
+		t.Errorf("coalesced counter %d, want 0", c)
+	}
+}
+
+// TestProxyHotCacheRequiresEchoedKey drives the proxy against a replica
+// that never echoes X-RCM-Key (version skew, third-party backend): with
+// no replica-confirmed key the hot-cache guard must fail open to a miss
+// rather than backfilling the routed — possibly client-forged — key and
+// caching under it.
+func TestProxyHotCacheRequiresEchoedKey(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/order", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("X-Cache", "miss")
+		fmt.Fprint(w, `{"servedBy":"a"}`) // no X-RCM-Key echo
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	p, err := New(Config{
+		Replicas:       []Replica{{ID: "a", URL: srv.URL}},
+		HotCacheBytes:  1 << 20,
+		HealthInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	post(t, ts, "somekey")
+	r2 := post(t, ts, "somekey")
+	if calls.Load() != 2 {
+		t.Errorf("replica saw %d calls, want 2 (unechoed key must not be hot-cached)", calls.Load())
+	}
+	if r2.Header.Get("X-RCM-Hot") != "" {
+		t.Error("second response served from the hot cache without a replica-confirmed key")
+	}
+}
+
+// TestProxyPassiveRecovery disables probing and kills the only replica's
+// connection once: the transport error takes it out of rotation, but
+// after passiveCooldown the proxy must try it again instead of answering
+// 503 forever.
+func TestProxyPassiveRecovery(t *testing.T) {
+	old := passiveCooldown
+	passiveCooldown = 500 * time.Millisecond
+	defer func() { passiveCooldown = old }()
+
+	var fail atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/order", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if fail.Load() {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close() // transport error for the proxy
+			return
+		}
+		w.Header().Set("X-RCM-Key", r.Header.Get("X-RCM-Key"))
+		fmt.Fprint(w, `{"servedBy":"a"}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	p, err := New(Config{Replicas: []Replica{{ID: "a", URL: srv.URL}}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	fail.Store(true)
+	if resp := post(t, ts, "k"); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("transport failure on the only replica: HTTP %d, want 502", resp.StatusCode)
+	}
+	fail.Store(false)
+	if resp := post(t, ts, "k"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("inside the cooldown window: HTTP %d, want 503", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := post(t, ts, "k")
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never re-admitted after cooldown (last HTTP %d)", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !p.RoutingStats().Healthy["a"] {
+		t.Error("recovered replica still marked unhealthy")
 	}
 }
 
