@@ -110,3 +110,26 @@ func TestRunCompareThreshold(t *testing.T) {
 		t.Error("missing baseline passed")
 	}
 }
+
+// TestRunByteIdentical pins benchjson's output determinism: converting the
+// same bench text repeatedly must produce byte-identical JSON (custom
+// metrics live in a map; encoding/json sorts its keys, and nothing else in
+// the pipeline may depend on map order).
+func TestRunByteIdentical(t *testing.T) {
+	const metricsSample = sample +
+		"BenchmarkOrder/distributed/audikw-8 \t 10 \t 99 ns/op \t 1.0 td-levels \t 2.0 bu-levels \t 3.0 spills \t 4.0 retries\n"
+	var first string
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := run(strings.NewReader(metricsSample), &buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("run %d produced different bytes:\n--- first ---\n%s\n--- now ---\n%s", i, first, buf.String())
+		}
+	}
+}

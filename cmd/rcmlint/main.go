@@ -1,0 +1,86 @@
+// Command rcmlint runs the repo's static-analysis suite (internal/lint)
+// over the module: mapiter, lockstep, hotalloc, unsafeguard, nopanic — the
+// determinism, BSP-lockstep, and hot-path invariants the distributed RCM's
+// correctness rests on, enforced at build time.
+//
+// Usage:
+//
+//	go run ./cmd/rcmlint [-json] [packages]
+//
+// With no package arguments it analyzes ./... from the module root. Exit
+// status is 0 with no findings, 1 when diagnostics were reported, 2 on a
+// loading or usage error. -json emits the diagnostics as a JSON array
+// ({check, file, line, col, message}) for tooling; the default output is
+// one file:line:col: check: message per line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcmlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &lint.Loader{Dir: root}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcmlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(lint.DefaultConfig(), root, pkgs)
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rcmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod, so
+// rcmlint analyzes the whole module regardless of the invocation directory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

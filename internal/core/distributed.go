@@ -147,6 +147,7 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 				localDeg += v
 			}
 			c.Stats().AddWork(int64(len(D.Data)))
+			//lint:ignore lockstep opt.Direction is replicated configuration: every rank evaluates the same gate
 			mu = comm.AllReduceSum(c, localDeg)
 		}
 
@@ -156,6 +157,7 @@ func Distributed(a *spmat.CSR, opt DistOptions) *DistOrdering {
 		cursor := 0
 		for nv < int64(n) {
 			c.Stats().SetPhase(tally.PeripheralOther)
+			//lint:ignore lockstep nv advances only by collective results (AllReduceSum of labelled counts), so every rank evaluates the loop condition identically
 			start := firstUnlabeled(R, &cursor)
 			if start < 0 {
 				break
@@ -284,6 +286,7 @@ func (sw *distSweeper) Sweep(root, maxCand int) LevelStructure {
 		// One collective serves both consumers: the direction policy's mu
 		// bookkeeping and the bi-criteria tie-breaking degree. The value
 		// never depends on the direction mode, so neither does the policy.
+		//lint:ignore lockstep opt.Direction and maxCand are replicated options: every rank evaluates the same gate
 		rootDeg = distmat.DegreeOf(D, root)
 	}
 	if L.Owns(root) {
@@ -303,8 +306,10 @@ func (sw *distSweeper) Sweep(root, maxCand int) LevelStructure {
 		g.World.Stats().SetPhase(tally.PeripheralSpMSpV)
 		var next *distmat.SpV
 		if bu {
+			//lint:ignore lockstep bu comes from the direction policy fed only rank-identical counts (collective results), so all ranks pick the same step
 			next = distmat.BottomUpStep(A, cur, L, sr, true, 0)
 		} else {
+			//lint:ignore lockstep bu comes from the direction policy fed only rank-identical counts (collective results), so all ranks pick the same step
 			next = distmat.SpMSpV(A, cur, sr)
 		}
 		g.World.Stats().AddLevel(bu)
@@ -356,6 +361,7 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 	nv++
 	var rootDeg int64
 	if opt.Direction != DirTopDown {
+		//lint:ignore lockstep opt.Direction is replicated configuration: every rank evaluates the same gate
 		rootDeg = distmat.DegreeOf(D, root)
 	}
 	pol := newDirPolicy(opt.Options, A.D.N)
@@ -369,8 +375,10 @@ func distOrder(A *distmat.Mat, D *distmat.Vec, R *distmat.Vec, root int, nv int6
 		g.World.Stats().SetPhase(tally.OrderingSpMSpV)
 		var next *distmat.SpV
 		if bu {
+			//lint:ignore lockstep bu comes from the direction policy fed only rank-identical counts (collective results), so all ranks pick the same step
 			next = distmat.BottomUpStep(A, cur, R, sr, false, 0) // Lnext ← masked SpMV
 		} else {
+			//lint:ignore lockstep bu comes from the direction policy fed only rank-identical counts (collective results), so all ranks pick the same step
 			next = distmat.SpMSpV(A, cur, sr) // Lnext ← SPMSPV(A, Lcur)
 		}
 		g.World.Stats().AddLevel(bu)

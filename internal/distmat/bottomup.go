@@ -95,9 +95,11 @@ func BottomUpStep[S semiring.Semiring](m *Mat, x *SpV, vis *Vec, sr S, labelFree
 			bu.colBits.Set(e.Ind - m.ColLo)
 		}
 		stats.AddWork(int64(len(ws.swapped) + len(bu.colBits)))
+		//lint:ignore lockstep labelFree is a replicated argument: every rank passes the same value, so all ranks take this branch together
 		bu.colBitsWS = comm.AllReduceSliceInto(g.Col, bu.colBits, orWords, bu.colBitsWS)
 		bu.colBits, bu.colBitsWS = bu.colBitsWS, bu.colBits
 	} else {
+		//lint:ignore lockstep labelFree is a replicated argument: every rank passes the same value, so all ranks take this branch together
 		ws.xj = comm.AllGathervConcatInto(g.Col, ws.swapped, ws.xj)
 		if cap(bu.colLabel) < cols {
 			bu.colLabel = make([]int64, cols)

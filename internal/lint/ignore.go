@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ignoreCheck is the pseudo-check name under which malformed //lint:ignore
+// directives are reported. It is not suppressible: a bad suppression cannot
+// suppress itself.
+const ignoreCheck = "lintignore"
+
+// ignorePrefix is the directive comment form. The reason is mandatory — a
+// suppression that does not say why the site is safe is a diagnostic.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreKey locates one directive: it suppresses diagnostics of its check on
+// its own line (trailing comment) and on the line directly below (comment
+// above the flagged statement).
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	return s[ignoreKey{d.File, d.Line, d.Check}] || s[ignoreKey{d.File, d.Line - 1, d.Check}]
+}
+
+// collectIgnores parses every //lint:ignore directive in the loaded files,
+// returning the well-formed ones as a suppression set and the malformed ones
+// (missing reason, unknown check name) as diagnostics in their own right.
+func collectIgnores(r *Runner, pkgs []*Package) (ignoreSet, []Diagnostic) {
+	valid := checkNames()
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // some other //lint:ignorexyz token, not ours
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					diag := func(format string, args ...any) {
+						bad = append(bad, Diagnostic{
+							Check:   ignoreCheck,
+							File:    r.rel(pos.Filename),
+							Line:    pos.Line,
+							Col:     pos.Column,
+							Message: fmt.Sprintf(format, args...),
+						})
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						diag("//lint:ignore needs a check name and a reason")
+						continue
+					}
+					check := fields[0]
+					if !valid[check] {
+						diag("//lint:ignore names unknown check %q", check)
+						continue
+					}
+					if len(fields) < 2 {
+						diag("//lint:ignore %s needs a reason: say why this site is safe", check)
+						continue
+					}
+					set[ignoreKey{r.rel(pos.Filename), pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,181 @@
+// Package lint is rcmlint's analysis engine: a stdlib-only static-analysis
+// driver (go/parser + go/ast + go/types, no external modules) plus the
+// repo-specific analyzers that enforce the determinism, lockstep, and
+// hot-path invariants this codebase's correctness rests on. The paper's
+// distributed RCM only works because every rank executes collectives in
+// lockstep and produces byte-identical orderings; the golden FNV hashes and
+// race/fuzz CI enforce that contract at runtime, and this package enforces
+// the bug classes behind it at build time — before any golden hash can
+// flinch.
+//
+// The five analyzers and the invariant each guards:
+//
+//   - mapiter: no range over a map in determinism-critical packages or in
+//     anything that renders stable output (orderings, fingerprints,
+//     Prometheus text, stats aggregation). Sorted-key iteration through
+//     internal/detmap is the sanctioned form.
+//   - lockstep: in the distributed engine and its substrate, no collective
+//     call nested inside a construct a rank could evaluate differently
+//     (if/switch/select bodies, range-loop bodies, condition-carrying for
+//     loops) unless annotated with the reason every rank takes the path.
+//   - hotalloc: no fmt formatting calls and no implicit interface boxing in
+//     the designated hot paths (fingerprinting, cache-key derivation, RCMB
+//     decode, permute/stats kernels, proxy routing fast path).
+//   - unsafeguard: imports of unsafe are confined to an explicit file
+//     allowlist.
+//   - nopanic: no panic reachable from the exported API of the facade and
+//     serving packages.
+//
+// Diagnostics are suppressed per site with a mandatory-reason directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the flagged line or the line directly above it. A directive
+// without a reason (or naming an unknown check) is itself a diagnostic, so
+// every suppression in the tree documents why the site is safe.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line presentation and for
+// the -json machine-readable output of cmd/rcmlint.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // relative to the module root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// Analyzers returns the full suite in execution order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{mapIterAnalyzer, lockstepAnalyzer, hotAllocAnalyzer, unsafeGuardAnalyzer, noPanicAnalyzer}
+}
+
+// checkNames returns the set of valid analyzer names, for validating
+// //lint:ignore directives.
+func checkNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Pass hands one analyzer one package plus the cross-package context the
+// runner prepared (the collective-function index, the configuration).
+type Pass struct {
+	Cfg *Config
+	Pkg *Package
+
+	runner *Runner
+	name   string
+}
+
+// Reportf records a diagnostic for the current analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.runner.diags = append(p.runner.diags, Diagnostic{
+		Check:   p.name,
+		File:    p.runner.rel(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// isCollective reports whether obj is one of the module's collective
+// functions: see Runner.indexCollectives.
+func (p *Pass) isCollective(obj types.Object) bool { return p.runner.collective[obj] }
+
+// Runner applies the analyzer suite to a loaded package set under one
+// configuration, then filters the findings through the //lint:ignore
+// directives.
+type Runner struct {
+	cfg   *Config
+	root  string
+	diags []Diagnostic
+
+	collective map[types.Object]bool
+}
+
+// Run analyzes the packages the caller loaded (see Loader) and returns the
+// unsuppressed diagnostics sorted by position. root anchors the relative
+// file paths in the output and in Config.UnsafeFiles matching.
+func Run(cfg *Config, root string, pkgs []*Package) []Diagnostic {
+	r := &Runner{cfg: cfg, root: root, collective: map[types.Object]bool{}}
+	r.indexCollectives(pkgs)
+	directives, bad := collectIgnores(r, pkgs)
+	r.diags = append(r.diags, bad...)
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			a.Run(&Pass{Cfg: cfg, Pkg: pkg, runner: r, name: a.Name})
+		}
+	}
+	kept := r.diags[:0]
+	for _, d := range r.diags {
+		if d.Check != ignoreCheck && directives.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+// indexCollectives records, across every loaded package, the functions the
+// lockstep check must treat as BSP-synchronizing beyond the comm package
+// itself: any function or method whose doc comment carries the word
+// "Collective" — the repo's documentation convention for operations all
+// ranks must execute (distmat.SpMSpV, BottomUpStep, DegreeOf, ...). Because
+// packages share one type-checking session, the objects here are pointer-
+// identical to the ones call sites resolve to.
+func (r *Runner) indexCollectives(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		for obj, doc := range pkg.FuncDocs {
+			if strings.Contains(doc, "Collective") {
+				r.collective[obj] = true
+			}
+		}
+	}
+}
+
+// rel shortens an absolute file name to the module-relative form used in
+// diagnostics and in Config.UnsafeFiles.
+func (r *Runner) rel(filename string) string {
+	if rel, err := filepath.Rel(r.root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

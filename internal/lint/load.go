@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path   string // import path
+	Module string // module path prefix ("" for fixture trees)
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	// FuncDocs maps every function, method, and interface-method object to
+	// its doc comment, for the lockstep "Collective" marker index.
+	FuncDocs map[types.Object]string
+}
+
+// Loader loads a package tree with nothing but the standard library: files
+// are listed per directory by go/build (so build constraints behave exactly
+// as `go build` — mmap_linux.go is linux-only here too), parsed by
+// go/parser, and type-checked by go/types. Imports inside the tree resolve
+// to the loader's own packages; standard-library imports resolve through
+// compiled export data located once via `go list -deps -export` (no module
+// downloads — the module has zero dependencies, and the go toolchain
+// populates its build cache locally).
+//
+// Test files are not loaded: the invariants guard shipped code, and tests
+// legitimately iterate maps, panic, and format freely.
+type Loader struct {
+	// Dir is the root of the tree (the module root, or a fixture root).
+	Dir string
+	// Module is the import-path prefix of the tree. When empty and
+	// Dir/go.mod exists, it is read from there; when empty without a
+	// go.mod, import paths are bare directory paths (fixture mode).
+	Module string
+
+	fset     *token.FileSet
+	parsed   map[string]*parsedPkg
+	pkgs     map[string]*Package
+	checking map[string]bool
+	std      types.Importer
+}
+
+type parsedPkg struct {
+	path  string
+	dir   string
+	files []*ast.File
+}
+
+// Load walks Dir, parses every package matched by the patterns ("./..." for
+// the whole tree, a relative directory, or "dir/..." for a subtree), and
+// returns them type-checked, sorted by import path. Dependencies inside the
+// tree are loaded and checked as needed even when not matched.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.fset = token.NewFileSet()
+	l.parsed = map[string]*parsedPkg{}
+	l.pkgs = map[string]*Package{}
+	l.checking = map[string]bool{}
+	root, err := filepath.Abs(l.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l.Dir = root
+	if l.Module == "" {
+		l.Module = modulePath(filepath.Join(root, "go.mod"))
+	}
+
+	if err := l.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := l.initStdImporter(); err != nil {
+		return nil, err
+	}
+
+	var matched []string
+	for path, pp := range l.parsed {
+		if matchesAny(patterns, l.relDir(pp.dir)) {
+			matched = append(matched, path)
+		}
+	}
+	sort.Strings(matched)
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v under %s", patterns, root)
+	}
+	out := make([]*Package, 0, len(matched))
+	for _, path := range matched {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// relDir is the module-relative slash path of a package directory ("." for
+// the root).
+func (l *Loader) relDir(dir string) string {
+	rel, err := filepath.Rel(l.Dir, dir)
+	if err != nil {
+		return dir
+	}
+	return filepath.ToSlash(rel)
+}
+
+// matchesAny implements the pattern subset the driver needs: "./..."
+// matches everything, "dir/..." a subtree, and a plain (relative) directory
+// itself.
+func matchesAny(patterns []string, relDir string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		switch {
+		case p == "..." || p == "":
+			return true
+		case strings.HasSuffix(p, "/..."):
+			base := strings.TrimSuffix(p, "/...")
+			if relDir == base || strings.HasPrefix(relDir, base+"/") {
+				return true
+			}
+		case relDir == strings.TrimSuffix(p, "/"):
+			return true
+		}
+	}
+	return false
+}
+
+// parseTree walks the root and parses every buildable package directory,
+// skipping testdata, vendor, hidden, and underscore directories.
+func (l *Loader) parseTree() error {
+	return filepath.WalkDir(l.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := build.Default.ImportDir(path, 0)
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				return nil
+			}
+			return fmt.Errorf("lint: %s: %w", path, err)
+		}
+		rel := l.relDir(path)
+		importPath := rel
+		if l.Module != "" {
+			if rel == "." {
+				importPath = l.Module
+			} else {
+				importPath = l.Module + "/" + rel
+			}
+		}
+		pp := &parsedPkg{path: importPath, dir: path}
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(l.fset, filepath.Join(path, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			pp.files = append(pp.files, f)
+		}
+		l.parsed[importPath] = pp
+		return nil
+	})
+}
+
+// internalPath reports whether an import path lives inside the loaded tree.
+func (l *Loader) internalPath(path string) bool {
+	if _, ok := l.parsed[path]; ok {
+		return true
+	}
+	if l.Module != "" && (path == l.Module || strings.HasPrefix(path, l.Module+"/")) {
+		return true
+	}
+	return false
+}
+
+// initStdImporter locates compiled export data for every external
+// (standard-library) import of the parsed tree with one `go list -deps
+// -export` invocation and wraps it in the stdlib gc importer.
+func (l *Loader) initStdImporter() error {
+	need := map[string]bool{}
+	for _, pp := range l.parsed {
+		for _, f := range pp.files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "unsafe" || path == "C" || l.internalPath(path) {
+					continue
+				}
+				need[path] = true
+			}
+		}
+	}
+	if len(need) == 0 {
+		l.std = importer.Default()
+		return nil
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+	for _, p := range sortedKeys(need) {
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("lint: go list -export: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: parsing go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", lookup)
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// loaderImporter adapts the loader to types.Importer for dependency
+// resolution during type checking.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if li.l.internalPath(path) {
+		pkg, err := li.l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return li.l.std.Import(path)
+}
+
+// check type-checks one parsed package (and, recursively, its internal
+// dependencies), memoizing the result.
+func (l *Loader) check(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	pp, ok := l.parsed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not found under %s", path, l.Dir)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: loaderImporter{l},
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, pp.files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", path, err)
+	}
+	pkg := &Package{
+		Path:     path,
+		Module:   l.Module,
+		Dir:      pp.dir,
+		Fset:     l.fset,
+		Files:    pp.files,
+		Types:    tpkg,
+		Info:     info,
+		FuncDocs: map[types.Object]string{},
+	}
+	collectFuncDocs(pkg)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// collectFuncDocs records the doc comment of every function declaration and
+// interface method, keyed by its types object.
+func collectFuncDocs(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if obj := pkg.Info.Defs[d.Name]; obj != nil {
+					pkg.FuncDocs[obj] = d.Doc.Text()
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						for _, name := range m.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								pkg.FuncDocs[obj] = m.Doc.Text()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// modulePath extracts the module path from a go.mod file ("" when absent).
+func modulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

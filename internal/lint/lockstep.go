@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// commNonCollective is the set of comm-package functions and methods that do
+// NOT synchronize: pure local accessors plus Run itself (which launches the
+// ranks rather than executing inside one). Everything else exported by a
+// configured comm package moves data through the barrier-guarded exchange
+// and must be called by every rank of the communicator in the same order.
+var commNonCollective = map[string]bool{
+	"Rank":  true,
+	"Size":  true,
+	"Stats": true,
+	"Model": true,
+	"Run":   true,
+}
+
+// lockstepAnalyzer flags collective calls nested inside control flow that a
+// rank could evaluate differently from its peers — the exact bug class that
+// deadlocks or corrupts a BSP run (§MPI semantics: all members of a
+// communicator must call the same collectives in the same order). Flagged
+// contexts are if/else bodies, switch and select cases, range-loop bodies,
+// and bodies of for loops carrying a condition. A `for {}` loop without a
+// condition is exempt (every rank enters it unconditionally and must leave
+// via a collective-agreed break), as are calls evaluated in an if condition
+// or a range expression (every rank evaluates those). A site where the
+// branch provably agrees on all ranks (the condition is a replicated
+// argument or an AllReduce result) is annotated:
+//
+//	//lint:ignore lockstep <why every rank takes the same path>
+//
+// Collectives are (a) the configured comm packages' synchronizing API and
+// (b) any module function whose doc comment carries the word "Collective" —
+// the repo's documentation convention for rank-synchronous operations
+// (distmat.SpMSpV, BottomUpStep, DegreeOf, ...).
+var lockstepAnalyzer = &Analyzer{
+	Name: "lockstep",
+	Doc:  "no collective call under rank-divergent control flow in the distributed engine",
+	Run: func(pass *Pass) {
+		if !pass.Cfg.lockstepEnabled(pass.Pkg) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := collectiveName(pass, call)
+				if !ok {
+					return true
+				}
+				if ctx := divergentContext(stack); ctx != "" {
+					pass.Reportf(call.Pos(), "collective %s inside %s: ranks could diverge and deadlock the exchange; hoist it, or annotate //lint:ignore lockstep <why every rank takes this path>", name, ctx)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// collectiveName reports whether call invokes a collective, and if so under
+// what display name.
+func collectiveName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	obj := callee(pass.Pkg, call)
+	if obj == nil {
+		return "", false
+	}
+	if pass.isCollective(obj) {
+		return displayName(obj), true
+	}
+	if obj.Pkg() != nil && pass.Cfg.isCommPkg(pass.Pkg, obj.Pkg().Path()) && !commNonCollective[obj.Name()] {
+		return displayName(obj), true
+	}
+	return "", false
+}
+
+// callee resolves the called function or method object of a call expression
+// (nil for builtins resolved elsewhere, conversions, and indirect calls
+// through function values).
+func callee(pkg *Package, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Origin() // generic instantiations share the origin object
+	}
+	return obj
+}
+
+// displayName renders pkg.Func or pkg.Type.Method for diagnostics.
+func displayName(obj types.Object) string {
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// divergentContext scans the ancestor stack of a call (innermost last) up to
+// the nearest function boundary and names the first construct whose body a
+// rank could enter while a peer does not. It returns "" when every enclosing
+// construct up to the function boundary is executed identically by all
+// ranks.
+func divergentContext(stack []ast.Node) string {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch anc := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return ""
+		case *ast.IfStmt:
+			if child == anc.Body || child == anc.Else {
+				return "an if/else branch"
+			}
+		case *ast.CaseClause:
+			for _, s := range anc.Body {
+				if s == child {
+					return "a switch case"
+				}
+			}
+		case *ast.CommClause:
+			for _, s := range anc.Body {
+				if s == child {
+					return "a select case"
+				}
+			}
+		case *ast.RangeStmt:
+			if child == anc.Body {
+				return "a range-loop body"
+			}
+		case *ast.ForStmt:
+			if anc.Cond != nil && child == anc.Body {
+				return "a conditional for-loop body"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapIterAnalyzer flags every `range` over a map in the configured
+// determinism-critical packages. Go randomizes map iteration order per
+// range statement, so any map walk that feeds an ordering, a fingerprint,
+// a rendered metrics page, or a merged stats report is a latent
+// nondeterminism bug — exactly the class the repo's byte-identity golden
+// hashes exist to catch, except the lint check catches it before the hash
+// can flinch. The sanctioned form is iterating detmap.Keys(m) (sorted) or
+// pinning an explicit order; internal/detmap is excluded from the config
+// so its one raw range stays legal.
+var mapIterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "no range over a map in determinism-critical packages; iterate detmap.Keys(m) instead",
+	Run: func(pass *Pass) {
+		if !pass.Cfg.mapIterEnabled(pass.Pkg) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(rs.For, "range over map %s: iteration order is randomized; range detmap.Keys(%s) or pin an explicit order",
+						types.ExprString(rs.X), types.ExprString(rs.X))
+				}
+				return true
+			})
+		}
+	},
+}

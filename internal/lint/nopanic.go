@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// noPanicAnalyzer proves no panic is reachable from the exported API of the
+// configured packages (the facade and the serving tier). PR 4 converted the
+// facade from panics to errors — a caller embedding rcm in a long-running
+// service must never be crashed by malformed input — and this check locks
+// that in. It builds the intra-package call graph (calls into other
+// packages are assumed panic-free on their own contract: the stdlib
+// documents its panics, and covered sibling packages are checked
+// themselves), walks it from every exported function and method, and
+// reports each reachable panic site. A function whose body calls recover
+// (the deferred-recover barrier idiom) neither reports its own panics nor
+// propagates its callees' — its panics do not escape.
+var noPanicAnalyzer = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic reachable from exported API in the facade and serving packages",
+	Run: func(pass *Pass) {
+		if !pass.Cfg.noPanicEnabled(pass.Pkg) {
+			return
+		}
+		funcs := map[*types.Func]*npFunc{}
+		var order []*npFunc
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				nf := scanFunc(pass.Pkg, fd, obj)
+				funcs[obj] = nf
+				order = append(order, nf)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].obj.Name() < order[j].obj.Name() })
+
+		reachedVia := map[*npFunc]string{}
+		var visit func(nf *npFunc, entry string)
+		visit = func(nf *npFunc, entry string) {
+			if _, seen := reachedVia[nf]; seen {
+				return
+			}
+			reachedVia[nf] = entry
+			if nf.barrier {
+				return // recover barrier: nothing below escapes
+			}
+			for _, callee := range nf.callees {
+				if target, ok := funcs[callee]; ok {
+					visit(target, entry)
+				}
+			}
+		}
+		for _, nf := range order {
+			if nf.obj.Exported() {
+				visit(nf, displayName(nf.obj))
+			}
+		}
+		for _, nf := range order {
+			entry, reached := reachedVia[nf]
+			if !reached || nf.barrier {
+				continue
+			}
+			for _, pos := range nf.panics {
+				pass.Reportf(pos, "panic reachable from exported %s: return an error instead (the facade's no-panic contract, PR 4)", entry)
+			}
+		}
+	},
+}
+
+// npFunc is one declared function's panic-relevant summary.
+type npFunc struct {
+	obj     *types.Func
+	panics  []token.Pos
+	callees []*types.Func
+	barrier bool // body contains a recover() call
+}
+
+// scanFunc summarizes one declaration: its direct panic sites, its
+// same-package callees (function literals inside the body are attributed to
+// the declaration — a panicking goroutine or deferred closure still crashes
+// the caller's process), and whether it erects a recover barrier.
+func scanFunc(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *npFunc {
+	nf := &npFunc{obj: obj}
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "panic":
+					nf.panics = append(nf.panics, call.Pos())
+				case "recover":
+					nf.barrier = true
+				}
+				return true
+			}
+		}
+		if fn, ok := callee(pkg, call).(*types.Func); ok && fn.Pkg() == pkg.Types && !seen[fn] {
+			seen[fn] = true
+			nf.callees = append(nf.callees, fn)
+		}
+		return true
+	})
+	return nf
+}

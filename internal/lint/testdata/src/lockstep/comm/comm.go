@@ -1,0 +1,21 @@
+// Package comm is the lockstep fixture's stand-in for the BSP collectives
+// package: package-level functions synchronize, the accessors do not.
+package comm
+
+// Comm is a communicator.
+type Comm struct{ rank, size int }
+
+// Rank is a local accessor (not collective).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size is a local accessor (not collective).
+func (c *Comm) Size() int { return c.size }
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() {}
+
+// AllReduceSum is a collective reduction.
+func AllReduceSum(c *Comm, v int64) int64 { return v }
+
+// Bcast is a collective broadcast.
+func Bcast(c *Comm, v int64, root int) int64 { return v }

@@ -1,0 +1,57 @@
+// Package lockstep is the lockstep-check fixture: collectives nested in
+// rank-divergent control flow are flagged, unconditional call sites and
+// annotated rank-agreeing branches stay quiet.
+package lockstep
+
+import "comm"
+
+// DocMarked is a Collective: every rank must call it together. The doc
+// marker alone makes call sites subject to the lockstep check.
+func DocMarked(c *comm.Comm) int64 { return comm.AllReduceSum(c, 1) }
+
+func Flagged(c *comm.Comm, local int64) int64 {
+	var mu int64
+	if local > 0 { // a rank-local value: ranks can disagree
+		mu = comm.AllReduceSum(c, local) // want lockstep
+	}
+	for i := 0; i < int(local); i++ {
+		c.Barrier() // want lockstep
+	}
+	for range make([]int, local) {
+		mu += DocMarked(c) // want lockstep
+	}
+	switch local {
+	case 0:
+		mu = comm.Bcast(c, mu, 0) // want lockstep
+	}
+	return mu
+}
+
+// Quiet holds the forms every rank executes identically: straight-line
+// calls, collectives evaluated in an if condition, and the body of a
+// condition-free for loop.
+func Quiet(c *comm.Comm, local int64) int64 {
+	mu := comm.AllReduceSum(c, local)
+	if comm.AllReduceSum(c, local) > 0 {
+		mu++ // the branch body diverges, the condition does not
+	}
+	for {
+		mu += DocMarked(c)
+		if mu > 8 {
+			break
+		}
+	}
+	_ = c.Rank() // accessor: never collective
+	return mu
+}
+
+// Annotated takes a replicated argument: every rank passes the same value,
+// so the branch agrees fleet-wide and the suppression documents it.
+func Annotated(c *comm.Comm, replicated bool, local int64) int64 {
+	var mu int64
+	if replicated {
+		//lint:ignore lockstep replicated is identical on every rank, so all ranks take this branch together
+		mu = comm.AllReduceSum(c, local)
+	}
+	return mu
+}

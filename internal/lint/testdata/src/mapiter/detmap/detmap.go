@@ -1,0 +1,16 @@
+// Package detmap is the fixture's stand-in for internal/detmap: the
+// extracted sorted-key helper the mapiter check sanctions. It is excluded
+// from the fixture configuration, so its own raw range stays legal.
+package detmap
+
+import "sort"
+
+// Keys returns m's keys in ascending order.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

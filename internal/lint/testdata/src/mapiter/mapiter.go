@@ -1,0 +1,62 @@
+// Package mapiter is the mapiter-check fixture: raw map ranges are
+// flagged, sorted-key iteration through the extracted helper is the
+// sanctioned form, and suppressions need a reason.
+package mapiter
+
+import "detmap"
+
+func Flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want mapiter
+		total += v
+	}
+	return total
+}
+
+// Sanctioned iterates the helper's sorted key slice and stays quiet: the
+// helper package is outside the check's configuration, exactly like
+// internal/detmap in the real tree.
+func Sanctioned(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range detmap.Keys(m) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Suppressed documents why the range is safe; the directive absorbs the
+// diagnostic.
+func Suppressed(m map[string]int) int {
+	n := 0
+	//lint:ignore mapiter counting entries only: the result is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SliceRange is not a map range and stays quiet.
+func SliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+// BadDirectives exercises the mandatory-reason rule: a reasonless or
+// unknown-check directive is itself a diagnostic and suppresses nothing.
+func BadDirectives(m map[string]int) int {
+	n := 0
+	// want-next lintignore
+	//lint:ignore mapiter
+	for range m { // want mapiter
+		n++
+	}
+	// want-next lintignore
+	//lint:ignore nosuchcheck because reasons
+	for range m { // want mapiter
+		n++
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Package nopanic is the nopanic-check fixture: panics reachable from
+// exported functions are flagged, whether direct or through unexported
+// helpers; recover barriers and purely internal panics stay quiet.
+package nopanic
+
+import "errors"
+
+// Direct panics in an exported function.
+func Direct(n int) int {
+	if n < 0 {
+		panic("nopanic: negative") // want nopanic
+	}
+	return n
+}
+
+// Indirect reaches a panic through an unexported helper.
+func Indirect(n int) int { return helper(n) }
+
+func helper(n int) int {
+	if n < 0 {
+		panic("nopanic: negative helper") // want nopanic
+	}
+	return n
+}
+
+// Guarded erects a recover barrier before calling the panicking helper, so
+// nothing escapes it.
+func Guarded(n int) (out int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("nopanic: recovered")
+		}
+	}()
+	return mustPositive(n), nil
+}
+
+// mustPositive panics, but is only reachable behind Guarded's barrier.
+func mustPositive(n int) int {
+	if n < 0 {
+		panic("nopanic: must be positive")
+	}
+	return n
+}
+
+// internalOnly panics but is unreachable from any exported function: quiet.
+func internalOnly() { panic("nopanic: unreachable") }
+
+// Sanctioned returns an error instead of panicking: the no-panic contract.
+func Sanctioned(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("nopanic: negative")
+	}
+	return n, nil
+}
+
+// Suppressed documents an invariant violation that can only be a program
+// bug, not an input error.
+func Suppressed(n int) int {
+	if n < 0 {
+		//lint:ignore nopanic internal invariant: callers validated n at the API boundary, a trip here is a bug worth crashing on
+		panic("nopanic: invariant violated")
+	}
+	return n
+}

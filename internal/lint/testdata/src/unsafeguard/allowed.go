@@ -1,0 +1,8 @@
+// Package unsafeguard is the unsafeguard-check fixture: allowed.go is on
+// the file allowlist, bad.go is not.
+package unsafeguard
+
+import "unsafe"
+
+// PtrSize is computed in the allowlisted file: quiet.
+const PtrSize = unsafe.Sizeof(uintptr(0))

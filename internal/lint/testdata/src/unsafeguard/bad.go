@@ -1,0 +1,6 @@
+package unsafeguard
+
+import "unsafe" // want unsafeguard
+
+// IntSize leaks unsafe into a file outside the allowlist.
+const IntSize = unsafe.Sizeof(int(0))

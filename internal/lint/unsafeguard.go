@@ -1,0 +1,26 @@
+package lint
+
+// unsafeGuardAnalyzer confines imports of unsafe to the explicit file
+// allowlist in Config.UnsafeFiles. The repo has exactly two justified
+// unsafe sites — the comm exchange area's type-erased slot reconstruction
+// and the service cache's byte accounting — and each one's safety argument
+// is written next to the code. A new unsafe import must be admitted to the
+// allowlist deliberately (with its own argument), not slipped in.
+var unsafeGuardAnalyzer = &Analyzer{
+	Name: "unsafeguard",
+	Doc:  "unsafe imports confined to the configured file allowlist",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				if imp.Path.Value != `"unsafe"` {
+					continue
+				}
+				relFile := pass.runner.rel(pass.Pkg.Fset.Position(imp.Pos()).Filename)
+				if pass.Cfg.unsafeAllowed(relFile) {
+					continue
+				}
+				pass.Reportf(imp.Pos(), "import of unsafe outside the allowlist; admit %s in Config.UnsafeFiles (internal/lint/config.go) with a safety argument, or drop the import", relFile)
+			}
+		}
+	},
+}

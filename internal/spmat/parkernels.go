@@ -31,6 +31,7 @@ func (a *CSR) PermutePar(perm []int, threads int) *CSR {
 		return a.Permute(perm)
 	}
 	if err := ValidatePerm(perm, a.N); err != nil {
+		//lint:ignore hotalloc cold abort: an invalid permutation never reaches the kernel loop, so this boxing runs zero times on the fast path
 		panic("spmat: " + err.Error())
 	}
 	n := a.N
@@ -84,6 +85,7 @@ func (a *CSR) PermutePar(perm []int, threads int) *CSR {
 			rv := vals[plo:phi]
 			copy(rv, a.Val[a.RowPtr[old]:a.RowPtr[old+1]])
 			sorter.cols, sorter.vals = dst, rv
+			//lint:ignore hotalloc sorter is a pointer reused across the block's rows: storing a pointer in sort.Interface does not heap-allocate
 			sort.Sort(sorter)
 		}
 	})

@@ -674,7 +674,8 @@ func (p *Proxy) probeOnce(interval time.Duration) {
 		timeout = 2 * time.Second
 	}
 	var wg sync.WaitGroup
-	for _, rep := range p.replicas {
+	for _, id := range p.ids {
+		rep := p.replicas[id]
 		wg.Add(1)
 		go func(rep *replicaState) {
 			defer wg.Done()

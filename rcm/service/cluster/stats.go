@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/rcm/service"
 )
 
@@ -48,7 +49,8 @@ func (p *Proxy) RoutingStats() RoutingStats {
 		Coalesced: p.coalesced.Load(),
 		HotHits:   p.hotHits.Load(),
 	}
-	for id, rep := range p.replicas {
+	for _, id := range p.ids {
+		rep := p.replicas[id]
 		rs.Requests[id] = rep.requests.Load()
 		rs.Shed[id] = rep.shed.Load()
 		rs.Errors[id] = rep.errs.Load()
@@ -143,11 +145,11 @@ func mergeStats(agg *service.Stats, st *service.Stats) {
 	agg.Bytes += st.Bytes
 	agg.CapacityBytes += st.CapacityBytes
 	agg.Workers += st.Workers
-	for backend, h := range st.Latency {
+	for _, backend := range detmap.Keys(st.Latency) {
 		if agg.Latency == nil {
 			agg.Latency = make(map[string]service.LatencyStats)
 		}
-		agg.Latency[backend] = mergeLatency(agg.Latency[backend], h)
+		agg.Latency[backend] = mergeLatency(agg.Latency[backend], st.Latency[backend])
 	}
 	if len(st.Modeled) > 0 {
 		byPhase := make(map[string]*service.PhaseSeconds, len(agg.Modeled))
@@ -180,12 +182,7 @@ func mergeLatency(a, b service.LatencyStats) service.LatencyStats {
 	for _, bk := range b.Buckets {
 		byLe[bk.LeSeconds] += bk.Count
 	}
-	les := make([]float64, 0, len(byLe))
-	for le := range byLe {
-		les = append(les, le)
-	}
-	sort.Float64s(les)
-	for _, le := range les {
+	for _, le := range detmap.Keys(byLe) {
 		out.Buckets = append(out.Buckets, service.LatencyBucket{LeSeconds: le, Count: byLe[le]})
 	}
 	return out

@@ -9,9 +9,9 @@ import (
 	"mime"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 
+	"repro/internal/detmap"
 	"repro/rcm"
 )
 
@@ -189,7 +189,9 @@ func handleOrder(s *Service, w http.ResponseWriter, r *http.Request) {
 
 func handleComponents(s *Service, w http.ResponseWriter, r *http.Request) {
 	threads, includeLabels := 0, true
-	for key, vals := range r.URL.Query() {
+	query := r.URL.Query()
+	for _, key := range detmap.Keys(query) {
+		vals := query[key]
 		val := vals[len(vals)-1]
 		switch key {
 		case "threads":
@@ -290,7 +292,8 @@ func specFromQuery(q url.Values) (sp Spec, includePerm bool, err error) {
 		}
 		return n, nil
 	}
-	for key, vals := range q {
+	for _, key := range detmap.Keys(q) {
+		vals := q[key]
 		val := vals[len(vals)-1]
 		switch key {
 		case "backend":
@@ -384,12 +387,7 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	if len(st.Latency) > 0 {
 		fmt.Fprintf(w, "# HELP rcm_service_latency_seconds wall-clock ordering latency per backend\n")
 		fmt.Fprintf(w, "# TYPE rcm_service_latency_seconds histogram\n")
-		backends := make([]string, 0, len(st.Latency))
-		for b := range st.Latency {
-			backends = append(backends, b)
-		}
-		sort.Strings(backends)
-		for _, b := range backends {
+		for _, b := range detmap.Keys(st.Latency) {
 			h := st.Latency[b]
 			for _, bk := range h.Buckets {
 				fmt.Fprintf(w, "rcm_service_latency_seconds_bucket{backend=%q,le=%q} %d\n", b, trimFloat(bk.LeSeconds), bk.Count)

@@ -26,11 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/rcm"
 )
 
@@ -422,19 +422,14 @@ func (s *Service) Stats() Stats {
 	}
 	if len(s.latency) > 0 {
 		st.Latency = make(map[string]LatencyStats, len(s.latency))
-		for b, h := range s.latency {
-			st.Latency[b] = h.snapshot()
+		for _, b := range detmap.Keys(s.latency) {
+			st.Latency[b] = s.latency[b].snapshot()
 		}
 	}
 	if len(s.modeled) > 0 {
 		// Deterministic order: the tally phase order is fixed, but the
 		// map is not; sort by name for stable output.
-		names := make([]string, 0, len(s.modeled))
-		for name := range s.modeled {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range detmap.Keys(s.modeled) {
 			agg := s.modeled[name]
 			st.Modeled = append(st.Modeled, PhaseSeconds{Phase: name, CompSeconds: agg.comp, CommSeconds: agg.comm})
 		}
@@ -472,6 +467,7 @@ func (s *Service) Close() {
 		}
 		s.mu.Lock()
 		pending := make([]*flight, 0, len(s.flights))
+		//lint:ignore mapiter shutdown drain: every flight fails with the same ErrClosed and the map is emptied, so order is unobservable
 		for key, f := range s.flights {
 			pending = append(pending, f)
 			delete(s.flights, key)

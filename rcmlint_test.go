@@ -1,0 +1,27 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRCMLintClean is the self-lint gate: `go test ./...` runs the full
+// rcmlint suite over the module and fails on any unsuppressed diagnostic,
+// so the determinism/lockstep/hot-path invariants are enforced locally, not
+// just by the CI lint job. It is the same analysis `go run ./cmd/rcmlint
+// ./...` performs.
+func TestRCMLintClean(t *testing.T) {
+	loader := &lint.Loader{Dir: "."}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := lint.Run(lint.DefaultConfig(), loader.Dir, pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the site, or suppress with `//lint:ignore <check> <reason>` when the invariant provably holds")
+	}
+}
