@@ -18,6 +18,7 @@
 //	rcmbench -exp sloan              RCM vs Sloan envelope quality (extension)
 //	rcmbench -exp ablation-dcsc      CSC vs DCSC block storage (hypersparsity)
 //	rcmbench -exp ablation-components component scheduling on/off, shared engine
+//	rcmbench -exp ablation-ordering  RCM vs AMD vs Sloan, bandwidth vs fill proxy
 //	rcmbench -exp spy                before/after ASCII spy plots (Fig. 3 plots)
 //	rcmbench -exp service            ordering-service QPS vs cache hit ratio
 //	rcmbench -exp ingest             RCMB ingest strategies + out-of-core digest
@@ -49,16 +50,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-components|ablation-direction|ablation-heuristic|quality|sizesense|sloan|spy|service|ingest|fleet|all)")
-		scale    = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
-		maxCores = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
-		matrices = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
-		procs    = flag.Int("procs", 16, "process count for the sort and direction ablations")
-		dir      = flag.String("direction", "auto", "traversal direction policy for distributed runs (auto|top-down|bottom-up)")
-		heur     = flag.String("heuristic", "pseudo-peripheral", "start-vertex heuristic for every run (pseudo-peripheral|bi-criteria|min-degree|first-vertex)")
-		alpha    = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
-		beta     = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
-		csvPath  = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5/service/ingest/fleet only)")
+		exp        = flag.String("exp", "all", "experiment id (fig1|fig3|table2|fig4|fig5|fig6|ablation-sort|ablation-semiring|ablation-hybrid|ablation-format|ablation-dcsc|ablation-components|ablation-direction|ablation-heuristic|ablation-ordering|quality|sizesense|sloan|spy|service|ingest|fleet|all)")
+		scale      = flag.Int("scale", 2, "downscale factor for the analog matrices (1 = full analog)")
+		maxCores   = flag.Int("maxcores", 0, "skip scaling configurations above this core count (0 = none)")
+		matrices   = flag.String("matrices", "", "comma-separated matrix filter (default: all nine)")
+		procs      = flag.Int("procs", 16, "process count for the sort and direction ablations")
+		amdThreads = flag.Int("amdthreads", 4, "AMD multiple-elimination thread count for the ordering ablation (output is identical at any)")
+		dir        = flag.String("direction", "auto", "traversal direction policy for distributed runs (auto|top-down|bottom-up)")
+		heur       = flag.String("heuristic", "pseudo-peripheral", "start-vertex heuristic for every run (pseudo-peripheral|bi-criteria|min-degree|first-vertex)")
+		alpha      = flag.Float64("alpha", 0, "override model latency α in ns (0 = default)")
+		beta       = flag.Float64("beta", 0, "override model inverse bandwidth β in ns/word (0 = default)")
+		csvPath    = flag.String("csv", "", "also write machine-readable results here (fig1/fig4/fig5/service/ingest/fleet only)")
 	)
 	flag.Parse()
 
@@ -182,6 +184,10 @@ func main() {
 	}
 	if run("ablation-components") {
 		bench.RunAblationComponents(cfg)
+		ran = true
+	}
+	if run("ablation-ordering") {
+		bench.RunAblationOrdering(cfg, *amdThreads)
 		ran = true
 	}
 	if run("service") {

@@ -45,6 +45,7 @@ func main() {
 		hotMB       = flag.Int64("hot-mb", 0, "proxy-side hot-key response cache in MiB (0 disables)")
 		maxUpMB     = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB")
 		healthIvl   = flag.Duration("health-interval", 2*time.Second, "replica /healthz probe period (negative disables probing; errored replicas then rejoin after a short cooldown)")
+		ordering    = flag.String("ordering", "", "replicas' default ordering family: rcm|amd|sloan")
 		backend     = flag.String("backend", "", "replicas' default backend (must mirror the rcmserve flags)")
 		procs       = flag.Int("procs", 0, "replicas' default simulated process count")
 		threads     = flag.Int("threads", 0, "replicas' default thread count")
@@ -70,6 +71,7 @@ func main() {
 		MaxUploadBytes: *maxUpMB << 20,
 		HealthInterval: *healthIvl,
 		DefaultSpec: service.Spec{
+			Ordering:      *ordering,
 			Backend:       *backend,
 			Procs:         *procs,
 			Threads:       *threads,

@@ -41,6 +41,7 @@ func main() {
 		queue     = flag.Int("queue", 0, "queued-job bound before backpressure (0 = 4 × workers)")
 		cacheMB   = flag.Int64("cache-mb", 256, "result cache byte budget in MiB (negative disables caching)")
 		maxUpMB   = flag.Int64("max-upload-mb", 1024, "per-request upload cap in MiB (decoded matrices are ~8-16x larger)")
+		ordering  = flag.String("ordering", "", "default ordering family: rcm|amd|sloan")
 		backend   = flag.String("backend", "", "default backend: sequential|algebraic|shared|distributed")
 		procs     = flag.Int("procs", 0, "default simulated process count for the distributed backend")
 		threads   = flag.Int("threads", 0, "default thread count (shared backend / distributed model)")
@@ -62,6 +63,7 @@ func main() {
 		CacheBytes:     cacheBytes,
 		MaxUploadBytes: *maxUpMB << 20,
 		DefaultSpec: service.Spec{
+			Ordering:      *ordering,
 			Backend:       *backend,
 			Procs:         *procs,
 			Threads:       *threads,

@@ -1,0 +1,68 @@
+package amd
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/graphgen"
+)
+
+// The AMD golden suite pins the permutation of every generator-suite analog
+// at scale 2 to an FNV-1a hash, at thread counts 1, 2, 4 and 9 — the same
+// oracle style as the RCM goldens in internal/core: the multiple-
+// elimination schedule, the aggregated degree updates and the supervariable
+// machinery are wall-clock levers, never output levers. A refactor that
+// shifts any tie-break or phase boundary trips this before it reaches the
+// facade or the serving tier.
+
+const amdGoldenScale = 2
+
+func hashPerm(p []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range p {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+var amdGoldenSuite = []struct {
+	name string
+	n    int
+	hash uint64
+}{
+	{"nd24k", 1040, 0xcff6305428291269},
+	{"ldoor", 13500, 0xf8f74e2695abfe7d},
+	{"Serena", 11571, 0x70308335971d0c95},
+	{"audikw_1", 10710, 0x8de29975af8ae5c4},
+	{"dielFilterV3real", 11172, 0x280376b443a4a365},
+	{"Flan_1565", 10000, 0xbd9330a519c3b401},
+	{"Li7Nmax6", 10000, 0x8d10bba12a9fb441},
+	{"Nm7", 15000, 0xad2c70524bd0d7c9},
+	{"nlpkkt240", 11200, 0x66eea1559287c51d},
+}
+
+func TestGoldenPermutations(t *testing.T) {
+	for _, g := range amdGoldenSuite {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			entry := graphgen.SuiteByName(g.name)
+			if entry == nil {
+				t.Fatalf("suite entry %q missing", g.name)
+			}
+			a := entry.Build(amdGoldenScale)
+			if a.N != g.n {
+				t.Fatalf("generator drift: n = %d, want %d", a.N, g.n)
+			}
+			for _, threads := range []int{1, 2, 4, 9} {
+				if got := hashPerm(Order(a, threads)); got != g.hash {
+					t.Errorf("threads=%d: perm hash %#x, want %#x", threads, got, g.hash)
+				}
+			}
+		})
+	}
+}

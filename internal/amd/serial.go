@@ -1,0 +1,296 @@
+package amd
+
+import (
+	"sort"
+
+	"repro/internal/spmat"
+)
+
+// serialReference is an independent, deliberately naive implementation of
+// the exact same mathematical specification Order implements: greedy
+// ascending-id selection of minimum-degree distance-2 independent pivot
+// sets, quotient-graph elimination with element absorption, smallest-id
+// supervariable merging on identical pruned adjacency lists, and the
+// Amestoy-Davis-Duff three-term approximate degree. Where Order uses
+// epoch-marked scratch arrays, frozen element masses, the aggregated
+// w-trick and hash-grouped supervariable detection, this one recomputes
+// every set operation from scratch with sorted slices and pairwise
+// comparisons. The equivalence test pins the two implementations to each
+// other exactly — any bookkeeping shortcut in the parallel engine that
+// drifts from the spec shows up as a permutation mismatch.
+func serialReference(a *spmat.CSR) []int {
+	r := newRefSolver(a)
+	for r.alive > 0 {
+		r.round()
+	}
+	return r.order
+}
+
+type refSolver struct {
+	n     int
+	state []int8
+	mass  []int
+	deg   []int
+	adjV  [][]int
+	adjE  [][]int
+	membs [][]int
+	repr  []int
+	kids  [][]int
+	alive int
+	order []int
+}
+
+func newRefSolver(a *spmat.CSR) *refSolver {
+	n := a.N
+	r := &refSolver{
+		n:     n,
+		state: make([]int8, n),
+		mass:  make([]int, n),
+		deg:   make([]int, n),
+		adjV:  make([][]int, n),
+		adjE:  make([][]int, n),
+		membs: make([][]int, n),
+		repr:  make([]int, n),
+		kids:  make([][]int, n),
+		alive: n,
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range a.Row(i) {
+			if j != i {
+				r.adjV[i] = append(r.adjV[i], j)
+			}
+		}
+		r.deg[i] = len(r.adjV[i])
+		r.mass[i] = 1
+		r.repr[i] = i
+	}
+	return r
+}
+
+func (r *refSolver) find(v int) int {
+	for r.state[v] == stMerged {
+		v = r.repr[v]
+	}
+	return v
+}
+
+// neighborhood returns the distinct alive variables quotient-adjacent to v
+// (directly or through v's alive elements), sorted, excluding v itself.
+func (r *refSolver) neighborhood(v int) []int {
+	var nb []int
+	for _, j := range r.adjV[v] {
+		x := r.find(j)
+		if x != v && r.state[x] == stAlive {
+			nb = append(nb, x)
+		}
+	}
+	for _, e := range r.adjE[v] {
+		if r.state[e] != stPivot {
+			continue
+		}
+		for _, j := range r.membs[e] {
+			x := r.find(j)
+			if x != v && r.state[x] == stAlive {
+				nb = append(nb, x)
+			}
+		}
+	}
+	return sortedUnique(nb)
+}
+
+func sortedUnique(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for k, x := range xs {
+		if k == 0 || x != xs[k-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func containsSorted(xs []int, v int) bool {
+	k := sort.SearchInts(xs, v)
+	return k < len(xs) && xs[k] == v
+}
+
+func (r *refSolver) round() {
+	// Minimum-degree candidates, ascending id.
+	md := -1
+	var cands []int
+	for v := 0; v < r.n; v++ {
+		if r.state[v] != stAlive {
+			continue
+		}
+		if md == -1 || r.deg[v] < md {
+			md = r.deg[v]
+			cands = nil
+		}
+		if r.deg[v] == md {
+			cands = append(cands, v)
+		}
+	}
+	// Greedy distance-2 independent selection.
+	marked := make(map[int]bool)
+	var pivots []int
+	for _, v := range cands {
+		if marked[v] {
+			continue
+		}
+		nb := r.neighborhood(v)
+		ok := true
+		for _, x := range nb {
+			if marked[x] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		marked[v] = true
+		for _, x := range nb {
+			marked[x] = true
+		}
+		pivots = append(pivots, v)
+	}
+	for _, p := range pivots {
+		r.alive -= r.mass[p]
+		r.state[p] = stPivot
+	}
+	aliveEnd := r.alive
+
+	// Eliminate: form elements, absorb, prune member lists.
+	for _, p := range pivots {
+		lp := r.neighborhood(p)
+		for _, e := range r.adjE[p] {
+			if r.state[e] == stPivot {
+				r.state[e] = stDead
+				r.membs[e] = nil
+			}
+		}
+		r.membs[p] = lp
+		for _, i := range lp {
+			var av []int
+			for _, j := range r.adjV[i] {
+				x := r.find(j)
+				if x == i || r.state[x] != stAlive || containsSorted(lp, x) {
+					continue
+				}
+				av = append(av, x)
+			}
+			r.adjV[i] = sortedUnique(av)
+			var ae []int
+			for _, e := range r.adjE[i] {
+				if r.state[e] == stPivot {
+					ae = append(ae, e)
+				}
+			}
+			ae = append(ae, p)
+			r.adjE[i] = sortedUnique(ae)
+		}
+	}
+
+	// Merge indistinguishable members of each new element, pairwise.
+	for _, p := range pivots {
+		lp := r.membs[p]
+		for a := 1; a < len(lp); a++ {
+			j := lp[a]
+			if r.state[j] != stAlive {
+				continue
+			}
+			for b := 0; b < a; b++ {
+				i := lp[b]
+				if r.state[i] != stAlive || !equalInts(r.adjV[i], r.adjV[j]) || !equalInts(r.adjE[i], r.adjE[j]) {
+					continue
+				}
+				r.mass[i] += r.mass[j]
+				r.state[j] = stMerged
+				r.repr[j] = i
+				r.kids[i] = append(r.kids[i], j)
+				break
+			}
+		}
+	}
+
+	// Degree update with direct set differences.
+	for _, p := range pivots {
+		lp := r.membs[p]
+		lpMass := 0
+		for _, i := range lp {
+			if r.state[i] == stAlive {
+				lpMass += r.mass[i]
+			}
+		}
+		for _, i := range lp {
+			if r.state[i] != stAlive {
+				continue
+			}
+			lpExt := lpMass - r.mass[i]
+			aMass := 0
+			for _, x := range r.aliveSet(r.adjV[i]) {
+				aMass += r.mass[x]
+			}
+			ext := 0
+			var ae []int
+			for _, e := range r.adjE[i] {
+				if e == p {
+					ae = append(ae, e)
+					continue
+				}
+				// |L_e \ L_p| in mass units, by direct scan.
+				w := 0
+				for _, x := range r.aliveSet(r.membs[e]) {
+					if !containsSorted(lp, x) {
+						w += r.mass[x]
+					}
+				}
+				if w == 0 {
+					// Redundant element: fully inside L_p, so no variable
+					// outside this territory references it. Retire it.
+					r.state[e] = stDead
+					r.membs[e] = nil
+					continue
+				}
+				ext += w
+				ae = append(ae, e)
+			}
+			r.adjE[i] = ae
+			r.adjV[i] = r.aliveSet(r.adjV[i])
+			d := r.deg[i] + lpExt
+			if v := aMass + lpExt + ext; v < d {
+				d = v
+			}
+			if v := aliveEnd - r.mass[i]; v < d {
+				d = v
+			}
+			r.deg[i] = d
+		}
+	}
+
+	// Emit: pivots in selection order, each followed by its absorbed
+	// variables depth-first in merge order.
+	for _, p := range pivots {
+		r.emit(p)
+	}
+}
+
+// aliveSet resolves a list through repr and returns the distinct alive
+// variables, sorted.
+func (r *refSolver) aliveSet(xs []int) []int {
+	var out []int
+	for _, j := range xs {
+		x := r.find(j)
+		if r.state[x] == stAlive {
+			out = append(out, x)
+		}
+	}
+	return sortedUnique(out)
+}
+
+func (r *refSolver) emit(v int) {
+	r.order = append(r.order, v)
+	for _, j := range r.kids[v] {
+		r.emit(j)
+	}
+}

@@ -41,6 +41,7 @@ type Config struct {
 func DefaultConfig() *Config {
 	return &Config{
 		MapIterPkgs: []string{
+			"internal/amd",
 			"internal/core",
 			"internal/distmat",
 			"internal/spmat",
@@ -68,7 +69,15 @@ func DefaultConfig() *Config {
 			"internal/spmat": {
 				"CSR.Permute", "CSR.PermutePar",
 				"CSR.DegreesPar", "CSR.BandwidthPar", "CSR.ProfilePar", "CSR.WavefrontPar",
+				"CSR.FillProxy", "CSR.FillProxyPar",
 				"PatternDigest", "PatternHasher.WriteInts", "PatternHasher.SumHex",
+			},
+			// AMD pivot kernels: the per-round parallel phases — every
+			// allocation inside them multiplies by pivots × rounds, and fmt
+			// boxing would wreck the epoch-scratch design.
+			"internal/amd": {
+				"solver.selectPivots", "solver.eliminate",
+				"solver.mergeVariables", "solver.updateDegrees",
 			},
 			// Proxy routing fast path: key resolution and ring placement
 			// run on every proxied request.

@@ -173,6 +173,30 @@ func (a *CSR) ProfilePar(threads int) int64 {
 	return p
 }
 
+// FillProxyPar is FillProxy over nnz-balanced row blocks with a sum
+// reduction of the per-block partials.
+func (a *CSR) FillProxyPar(threads int) int64 {
+	if threads == 1 || a.N < minParallelRows {
+		return a.FillProxy()
+	}
+	bounds := WeightedBlocks(a.RowPtr, threads)
+	part := make([]int64, len(bounds)-1)
+	parallelBlocks(bounds, func(k, lo, hi int) {
+		var f int64
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			u := int64(len(row) - sort.SearchInts(row, i+1))
+			f += u * (u - 1) / 2
+		}
+		part[k] = f
+	})
+	var f int64
+	for _, v := range part {
+		f += v
+	}
+	return f
+}
+
 // WavefrontPar is Wavefront with the first-nonzero-column gather — the only
 // part that touches the sparse structure — parallelized over row blocks;
 // the difference-array accumulation and the O(n) scan that follows stay

@@ -249,6 +249,23 @@ func (a *CSR) Profile() int64 {
 	return p
 }
 
+// FillProxy returns Σ_i u_i(u_i−1)/2, where u_i is the number of stored
+// entries strictly above the diagonal in row i. For a symmetric pattern this
+// is the Cholesky fill an elimination would create if every row's upper
+// neighbors pairwise clique'd immediately — a cheap O(nnz) upper-bound-style
+// proxy that ranks orderings by fill tendency without running a symbolic
+// factorization. Lower is better; it is what the ordering ablation reports
+// next to bandwidth and profile.
+func (a *CSR) FillProxy() int64 {
+	var f int64
+	for i := 0; i < a.N; i++ {
+		row := a.Row(i)
+		u := int64(len(row) - sort.SearchInts(row, i+1))
+		f += u * (u - 1) / 2
+	}
+	return f
+}
+
 // Permute returns PAPᵀ for the permutation perm, where perm[k] is the old
 // index of the row/column placed at position k (the symrcm convention: A is
 // reordered so that old row perm[0] comes first). A malformed perm panics

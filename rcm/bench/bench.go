@@ -185,3 +185,10 @@ func RunSizeSensitivity(cfg Config, name string) {
 // RunSloanComparison contrasts RCM with Sloan's algorithm on envelope and
 // wavefront quality (an extension beyond the paper).
 func RunSloanComparison(cfg Config) { ibench.RunSloanComparison(cfg.internal()) }
+
+// RunAblationOrdering contrasts the three ordering families — RCM, AMD and
+// Sloan — on bandwidth, fill proxy and profile across the generator suite,
+// with AMD's multiple-elimination engine at the given thread count.
+func RunAblationOrdering(cfg Config, threads int) {
+	ibench.RunAblationOrdering(cfg.internal(), threads)
+}

@@ -328,10 +328,10 @@ func TestComponentSchedulingDistributedFallback(t *testing.T) {
 // TestOptionsFingerprintComponentScheduling pins the cache-key behaviour:
 // enabling scheduling or changing the threshold changes the fingerprint
 // (the cached Result carries ComponentStats), and the fingerprint version
-// tag moved to rcmopt/2.
+// tag moved to rcmopt/3 when the ord= term was added.
 func TestOptionsFingerprintComponentScheduling(t *testing.T) {
 	base := rcm.OptionsFingerprint()
-	if !strings.HasPrefix(base, "rcmopt/2 ") {
+	if !strings.HasPrefix(base, "rcmopt/3 ") {
 		t.Fatalf("fingerprint version tag: %q", base)
 	}
 	on := rcm.OptionsFingerprint(rcm.WithComponentScheduling(0))

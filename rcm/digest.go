@@ -44,7 +44,12 @@ func OptionsFingerprint(opts ...Option) string {
 		o(&c)
 	}
 	b := make([]byte, 0, 192)
-	b = append(b, "rcmopt/2 backend="...)
+	// rcmopt/3: the ord= term shards cache keys by ordering family — an AMD
+	// result and an RCM result for the same digest are distinct entries
+	// everywhere a fingerprint travels (service cache, proxy routing ring).
+	b = append(b, "rcmopt/3 ord="...)
+	b = append(b, c.ordering.String()...)
+	b = append(b, " backend="...)
 	b = append(b, c.backend.String()...)
 	b = append(b, " sort="...)
 	b = append(b, c.sortMode.String()...)

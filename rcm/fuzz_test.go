@@ -30,10 +30,12 @@ func matrixFromFuzz(data []byte) *rcm.Matrix {
 	return m
 }
 
-// FuzzOrderDeterminism is the deterministic contract as a fuzz property:
-// on ANY small symmetric matrix — connected or not — every backend, with
-// and without component scheduling, returns the byte-identical valid
-// permutation, and the Result satisfies the rcmtest invariants.
+// FuzzOrderDeterminism is the deterministic contract as a fuzz property,
+// across ordering families: on ANY small symmetric matrix — connected or
+// not — every RCM backend, with and without component scheduling, returns
+// the byte-identical valid permutation; AMD and Sloan each return their own
+// byte-identical valid permutation at thread counts 1, 2, 4 and 9; and
+// every Result satisfies the rcmtest invariants.
 func FuzzOrderDeterminism(f *testing.F) {
 	f.Add([]byte{5, 0, 1, 1, 2, 3, 4})                                         // path + edge + isolated
 	f.Add([]byte{1})                                                           // single vertex
@@ -70,6 +72,30 @@ func FuzzOrderDeterminism(f *testing.F) {
 				t.Fatalf("variant %d permutation differs from sequential", i)
 			}
 			rcmtest.CheckResult(t, m, res)
+		}
+		// The non-RCM families: each is its own determinism class — a fixed
+		// permutation per input, byte-identical at every thread count (Sloan
+		// ignores threads; AMD's multiple elimination must not let the
+		// worker count leak into the output).
+		for _, ord := range []rcm.Ordering{rcm.AMD, rcm.Sloan} {
+			famRef, err := rcm.Order(m, rcm.WithOrdering(ord))
+			if err != nil {
+				t.Fatalf("%v order failed on a valid matrix: %v", ord, err)
+			}
+			if famRef.Ordering != ord {
+				t.Fatalf("%v result reports ordering %v", ord, famRef.Ordering)
+			}
+			rcmtest.CheckResult(t, m, famRef)
+			for _, threads := range []int{2, 4, 9} {
+				res, err := rcm.Order(m, rcm.WithOrdering(ord), rcm.WithThreads(threads))
+				if err != nil {
+					t.Fatalf("%v threads=%d failed: %v", ord, threads, err)
+				}
+				if !reflect.DeepEqual(res.Perm, famRef.Perm) {
+					t.Fatalf("%v permutation differs at threads=%d", ord, threads)
+				}
+				rcmtest.CheckResult(t, m, res)
+			}
 		}
 	})
 }

@@ -163,6 +163,7 @@ func (m *Matrix) statsPar(threads int) Stats {
 	return Stats{
 		Bandwidth:     m.csr.BandwidthPar(threads),
 		Profile:       m.csr.ProfilePar(threads),
+		FillProxy:     m.csr.FillProxyPar(threads),
 		MaxWavefront:  wf.Max,
 		MeanWavefront: wf.Mean,
 		RMSWavefront:  wf.RMS,
@@ -184,8 +185,13 @@ func (m *Matrix) String() string { return m.Summary("matrix") }
 // computed for a fixed row/column order, so comparing Stats before and
 // after a permutation measures what the ordering achieved.
 type Stats struct {
-	Bandwidth     int
-	Profile       int64
+	Bandwidth int
+	Profile   int64
+	// FillProxy is Σ_i u_i(u_i−1)/2 over the rows' above-diagonal entry
+	// counts u_i — the cheap fill-tendency proxy the fill-minimizing
+	// orderings (AMD) target, reported next to the bandwidth metrics RCM
+	// targets so the ablation can compare families on both axes.
+	FillProxy     int64
 	MaxWavefront  int
 	MeanWavefront float64
 	RMSWavefront  float64

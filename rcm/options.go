@@ -62,6 +62,61 @@ func ParseBackend(s string) (Backend, error) {
 	return 0, fmt.Errorf("rcm: unknown backend %q (want sequential|algebraic|shared|distributed)", s)
 }
 
+// Ordering selects the ordering family Order computes. The facade, the
+// service layer and the cache fingerprint are ordering-generic: every
+// family obeys the same deterministic contract (byte-identical output at
+// any thread count, ties broken by (degree, id) or the family's analogous
+// rule), returns a permutation in the symrcm convention, and reports the
+// same Before/After quality statistics — callers choose by objective, not
+// by API.
+type Ordering int
+
+const (
+	// RCM is the Reverse Cuthill-McKee family of the source paper — the
+	// bandwidth-minimizing ordering, with the four interchangeable
+	// backends selected by WithBackend. The default.
+	RCM Ordering = iota
+	// AMD is approximate minimum degree (arXiv:2504.17097's shared-memory
+	// parallelization): the fill-minimizing ordering used ahead of sparse
+	// Cholesky/LU factorization. It runs the internal/amd multiple-
+	// elimination engine under WithThreads; the backend, sort, direction
+	// and start-vertex options are validated but do not apply (AMD has no
+	// BFS structure), and the reversal flag is ignored.
+	AMD
+	// Sloan is Sloan's profile/wavefront-reducing ordering (the paper's
+	// reference [6]) — a sequential quality baseline between the two:
+	// like RCM it orders level by level, like AMD it targets a fill-
+	// adjacent objective (the envelope). Backend options do not apply.
+	Sloan
+)
+
+// String names the ordering family as accepted by ParseOrdering.
+func (o Ordering) String() string {
+	switch o {
+	case RCM:
+		return "rcm"
+	case AMD:
+		return "amd"
+	case Sloan:
+		return "sloan"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// ParseOrdering maps a command-line name to an Ordering. It accepts
+// rcm|amd|sloan.
+func ParseOrdering(s string) (Ordering, error) {
+	switch s {
+	case "rcm":
+		return RCM, nil
+	case "amd":
+		return AMD, nil
+	case "sloan":
+		return Sloan, nil
+	}
+	return 0, fmt.Errorf("rcm: unknown ordering %q (want rcm|amd|sloan)", s)
+}
+
 // SortMode selects how the distributed backend labels each frontier,
 // covering the paper's §VI future-work alternatives to the full
 // distributed sort. It has no effect on the other backends.
@@ -218,6 +273,7 @@ func ParseHeuristic(s string) (StartHeuristic, error) {
 
 // config is the resolved option set of one Order call.
 type config struct {
+	ordering    Ordering
 	backend     Backend
 	sortMode    SortMode
 	heuristic   StartHeuristic
@@ -250,6 +306,15 @@ func defaultConfig() config {
 
 // Option configures Order and OrderMatrix.
 type Option func(*config)
+
+// WithOrdering selects the ordering family (RCM, AMD or Sloan). The other
+// options keep their meaning under RCM; under AMD only WithThreads (the
+// multiple-elimination workers) and WithoutSymmetrize apply, and under
+// Sloan the engine is sequential. Backend-specific options are still
+// validated — a malformed request fails identically for every family — but
+// do not change the non-RCM permutations; they do stay part of the cache
+// fingerprint (see OptionsFingerprint), which is deliberately conservative.
+func WithOrdering(o Ordering) Option { return func(c *config) { c.ordering = o } }
 
 // WithBackend selects the implementation that runs the ordering.
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }

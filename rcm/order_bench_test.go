@@ -57,6 +57,34 @@ func BenchmarkOrder(b *testing.B) {
 	}
 }
 
+// BenchmarkOrderAMD measures the AMD family through the facade at thread
+// counts 1 and 4 on the suite analogs the ordering ablation exercises —
+// the multiple-elimination engine's wall-clock trajectory under CI's
+// BENCH_order.json artifact, next to the RCM backends it shares the
+// serving tier with. Output is byte-identical at both thread counts (see
+// FuzzOrderDeterminism and the internal/amd goldens); only the time moves.
+func BenchmarkOrderAMD(b *testing.B) {
+	const scale = 6
+	matrices := []string{"ldoor", "Serena", "nlpkkt240"}
+	for _, threads := range []int{1, 4} {
+		for _, name := range matrices {
+			entry, err := rcm.SuiteByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := entry.Build(scale)
+			b.Run(fmt.Sprintf("t%d/%s", threads, name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := rcm.Order(m, rcm.WithOrdering(rcm.AMD), rcm.WithThreads(threads)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkOrderComponents measures Order on the component-heavy generator
 // suite with the shared backend, scheduling off versus on. The scheduler's
 // acceptance bar is a ≥1.5× speedup on these inputs (see the

@@ -1,0 +1,131 @@
+package rcm_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/rcm"
+	"repro/rcm/rcmtest"
+)
+
+func TestParseOrdering(t *testing.T) {
+	cases := []struct {
+		in   string
+		want rcm.Ordering
+	}{
+		{"rcm", rcm.RCM},
+		{"amd", rcm.AMD},
+		{"sloan", rcm.Sloan},
+	}
+	for _, tc := range cases {
+		got, err := rcm.ParseOrdering(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseOrdering(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("Ordering(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	for _, bad := range []string{"", "AMD", "minimum-degree", "rcm "} {
+		if _, err := rcm.ParseOrdering(bad); err == nil {
+			t.Errorf("ParseOrdering(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOrderingFingerprint pins the cache-key sharding: the fingerprint
+// carries an ord= term, so the same matrix ordered by different families
+// resolves to different content addresses — an AMD result can never be
+// served from an RCM cache entry or vice versa.
+func TestOrderingFingerprint(t *testing.T) {
+	base := rcm.OptionsFingerprint()
+	if !strings.Contains(base, " ord=rcm ") && !strings.HasPrefix(base, "rcmopt/3 ord=rcm ") {
+		t.Fatalf("default fingerprint missing ord=rcm: %q", base)
+	}
+	amd := rcm.OptionsFingerprint(rcm.WithOrdering(rcm.AMD))
+	sloan := rcm.OptionsFingerprint(rcm.WithOrdering(rcm.Sloan))
+	if amd == base || sloan == base || amd == sloan {
+		t.Fatalf("ordering families do not shard the fingerprint:\n rcm   %q\n amd   %q\n sloan %q", base, amd, sloan)
+	}
+	if explicit := rcm.OptionsFingerprint(rcm.WithOrdering(rcm.RCM)); explicit != base {
+		t.Fatalf("explicit WithOrdering(RCM) fingerprints differently from the default:\n %q\n %q", explicit, base)
+	}
+}
+
+// TestOrderAMD runs the AMD family through the public facade: valid
+// deterministic permutations at several thread counts, the Result labeled
+// with the family, and the rcmtest invariants.
+func TestOrderAMD(t *testing.T) {
+	m := rcm.Grid2D(14, 11)
+	ref, err := rcm.Order(m, rcm.WithOrdering(rcm.AMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ordering != rcm.AMD {
+		t.Fatalf("Result.Ordering = %v, want AMD", ref.Ordering)
+	}
+	rcmtest.CheckResult(t, m, ref)
+	for _, threads := range []int{2, 4, 9} {
+		res, err := rcm.Order(m, rcm.WithOrdering(rcm.AMD), rcm.WithThreads(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Perm, ref.Perm) {
+			t.Fatalf("AMD permutation differs at threads=%d", threads)
+		}
+		if res.Threads != threads {
+			t.Errorf("Result.Threads = %d, want %d", res.Threads, threads)
+		}
+	}
+	// The fill proxy moves in AMD's direction on a mesh.
+	if ref.After.FillProxy >= ref.Before.FillProxy {
+		t.Logf("AMD fill proxy %d -> %d on a grid (legal but notable)",
+			ref.Before.FillProxy, ref.After.FillProxy)
+	}
+}
+
+// TestOrderSloan runs the Sloan family through the facade.
+func TestOrderSloan(t *testing.T) {
+	m := rcm.Grid2D(12, 9)
+	res, err := rcm.Order(m, rcm.WithOrdering(rcm.Sloan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ordering != rcm.Sloan {
+		t.Fatalf("Result.Ordering = %v, want Sloan", res.Ordering)
+	}
+	rcmtest.CheckResult(t, m, res)
+	if res.After.Profile >= res.Before.Profile {
+		t.Errorf("Sloan did not reduce the profile on a grid: %d -> %d",
+			res.Before.Profile, res.After.Profile)
+	}
+}
+
+// TestOrderingValidationUniform asserts the validation layer treats every
+// family alike: malformed backend options fail identically whether the
+// ordering is RCM, AMD or Sloan, so a server with backend defaults rejects
+// (or accepts) a request the same way regardless of its ordering parameter.
+func TestOrderingValidationUniform(t *testing.T) {
+	m := rcm.Grid2D(6, 6)
+	for _, ord := range []rcm.Ordering{rcm.RCM, rcm.AMD, rcm.Sloan} {
+		if _, err := rcm.Order(m, rcm.WithOrdering(ord), rcm.WithThreads(0)); err == nil {
+			t.Errorf("%v: zero threads accepted", ord)
+		}
+		if _, err := rcm.Order(m, rcm.WithOrdering(ord), rcm.WithStartVertex(99)); err == nil {
+			t.Errorf("%v: out-of-range start vertex accepted", ord)
+		}
+		if _, err := rcm.Order(m, rcm.WithOrdering(ord), rcm.WithBackend(rcm.Backend(42))); err == nil {
+			t.Errorf("%v: unknown backend accepted", ord)
+		}
+		// Valid backend options are accepted and do not change the family.
+		res, err := rcm.Order(m, rcm.WithOrdering(ord), rcm.WithBackend(rcm.Shared), rcm.WithThreads(2))
+		if err != nil {
+			t.Errorf("%v: valid options rejected: %v", ord, err)
+			continue
+		}
+		if res.Ordering != ord {
+			t.Errorf("Result.Ordering = %v, want %v", res.Ordering, ord)
+		}
+	}
+}

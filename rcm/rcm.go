@@ -3,18 +3,23 @@ package rcm
 import (
 	"fmt"
 
+	"repro/internal/amd"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/spmat"
 	"repro/internal/tally"
 )
 
-// Result reports an RCM ordering computation.
+// Result reports an ordering computation.
 type Result struct {
 	// Perm is the computed permutation in symrcm convention: Perm[k] is
 	// the old row/column index placed at position k of PAPᵀ.
 	Perm []int
-	// Backend is the implementation that ran.
+	// Ordering is the family that ran (RCM, AMD or Sloan).
+	Ordering Ordering
+	// Backend is the implementation that ran. Meaningful for the RCM
+	// family; AMD and Sloan have a single engine each and echo the
+	// (ignored) configured backend.
 	Backend Backend
 	// PseudoDiameter is the largest eccentricity estimate found by the
 	// start-vertex search (PseudoPeripheral or BiCriteria), maximized
@@ -112,8 +117,19 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 		return nil, nil, err
 	}
 
-	res := &Result{Backend: c.backend, Procs: 1, Threads: 1}
+	res := &Result{Ordering: c.ordering, Backend: c.backend, Procs: 1, Threads: 1}
 	switch {
+	case c.ordering == AMD:
+		// The fill-minimizing family: the internal/amd multiple-elimination
+		// engine under the WithThreads worker budget. There is no BFS, so
+		// no pseudo-diameter; the component count comes from the same
+		// parallel union-find ConnectedComponents uses.
+		res.Perm = amd.Order(g, c.threads)
+		res.Threads = c.threads
+		_, res.Components = g.ParallelComponents(c.threads)
+	case c.ordering == Sloan:
+		// The profile-minimizing baseline: sequential by design.
+		fill(res, core.Sloan(g))
 	case c.scheduled():
 		c.runScheduled(g, copt, res)
 	default:
@@ -168,6 +184,11 @@ func order(a *Matrix, wantMatrix bool, opts []Option) (*Result, *Matrix, error) 
 func (c config) coreOptions(g *spmat.CSR) (core.Options, error) {
 	if g.N == 0 {
 		return core.Options{}, fmt.Errorf("rcm: empty matrix (n = 0 has no ordering)")
+	}
+	switch c.ordering {
+	case RCM, AMD, Sloan:
+	default:
+		return core.Options{}, fmt.Errorf("rcm: unknown ordering %v", c.ordering)
 	}
 	switch c.backend {
 	case Sequential, Algebraic, Shared, Distributed:

@@ -15,11 +15,15 @@ import (
 //   - Perm is a valid permutation of 0..N-1.
 //   - Result.Components matches an independent ConnectedComponents run.
 //   - PseudoDiameter is non-negative and zero for an empty permutation.
+//   - The Before/After statistics are well-formed: fill proxies are
+//     non-negative, and Before matches the matrix's own Stats.
 //
-// The bandwidth property is advisory: RCM does not guarantee a reduction on
+// The checks hold for every ordering family (RCM, AMD, Sloan) — the
+// quality properties are advisory: no family guarantees an improvement on
 // every input (a matrix that is already optimally banded, or pathological
-// tie patterns, can come out wider), so an increase is logged rather than
-// failed — fuzzing must not flag legitimate behaviour.
+// tie patterns, can come out wider), so an increase in the family's target
+// metric is logged rather than failed — fuzzing must not flag legitimate
+// behaviour.
 func CheckResult(t testing.TB, m *rcm.Matrix, res *rcm.Result) {
 	t.Helper()
 	if m == nil || res == nil {
@@ -50,9 +54,24 @@ func CheckResult(t testing.TB, m *rcm.Matrix, res *rcm.Result) {
 	if res.PseudoDiameter < 0 {
 		t.Errorf("rcmtest: negative pseudo-diameter %d", res.PseudoDiameter)
 	}
-	if res.After.Bandwidth > res.Before.Bandwidth {
-		t.Logf("rcmtest: bandwidth increased %d -> %d (legal but notable)",
-			res.Before.Bandwidth, res.After.Bandwidth)
+	if res.Before.FillProxy < 0 || res.After.FillProxy < 0 {
+		t.Errorf("rcmtest: negative fill proxy (before %d, after %d)",
+			res.Before.FillProxy, res.After.FillProxy)
+	}
+	if got := m.Stats(); got != res.Before {
+		t.Errorf("rcmtest: Result.Before %+v != matrix Stats %+v", res.Before, got)
+	}
+	switch res.Ordering {
+	case rcm.AMD:
+		if res.After.FillProxy > res.Before.FillProxy {
+			t.Logf("rcmtest: AMD fill proxy increased %d -> %d (legal but notable)",
+				res.Before.FillProxy, res.After.FillProxy)
+		}
+	default:
+		if res.After.Bandwidth > res.Before.Bandwidth {
+			t.Logf("rcmtest: bandwidth increased %d -> %d (legal but notable)",
+				res.Before.Bandwidth, res.After.Bandwidth)
+		}
 	}
 }
 

@@ -115,6 +115,63 @@ func TestFleetOrderingsMatchDirect(t *testing.T) {
 	}
 }
 
+// TestFleetOrderingFamilies routes one matrix under ordering=amd and under
+// the default RCM through the proxy: the two requests resolve to two
+// independent cache keys over the same digest, each repeat hits its own
+// family's entry, and an amd result through the fleet is byte-identical to
+// the in-process rcm.Order call. The keys may legitimately land on
+// different replicas — the ring hashes the whole key, fingerprint
+// included — which is exactly the sharding the ord= term buys.
+func TestFleetOrderingFamilies(t *testing.T) {
+	f := newFleet(t, 3, cluster.Config{})
+	a, _ := rcm.Scramble(rcm.Grid2D(11, 9), 7)
+
+	wantAMD, err := rcm.Order(a, rcm.WithOrdering(rcm.AMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amdResp, amdHTTP := postOrder(t, f.ts.URL, a, "ordering=amd")
+	rcmResp, rcmHTTP := postOrder(t, f.ts.URL, a, "")
+	if amdResp.Key == rcmResp.Key {
+		t.Fatalf("AMD and RCM share fleet cache key %q", amdResp.Key)
+	}
+	if amdResp.Key[:64] != rcmResp.Key[:64] {
+		t.Fatalf("families disagree on the digest half of the key:\n %q\n %q", amdResp.Key, rcmResp.Key)
+	}
+	if amdResp.Ordering != "amd" {
+		t.Fatalf("fleet response ordering = %q, want amd", amdResp.Ordering)
+	}
+	for i := range wantAMD.Perm {
+		if amdResp.Perm[i] != wantAMD.Perm[i] {
+			t.Fatalf("perm[%d] = %d through the fleet, %d direct", i, amdResp.Perm[i], wantAMD.Perm[i])
+		}
+	}
+
+	// Each family's repeat hits its own replica's cache under stable routing.
+	for _, tc := range []struct {
+		query   string
+		key     string
+		replica string
+	}{
+		{"ordering=amd", amdResp.Key, amdHTTP.Header.Get("X-RCM-Replica")},
+		{"", rcmResp.Key, rcmHTTP.Header.Get("X-RCM-Replica")},
+	} {
+		again, h := postOrder(t, f.ts.URL, a, tc.query)
+		if !again.Cached || again.Key != tc.key {
+			t.Errorf("repeat %q: cached=%v key=%q, want hit on %q", tc.query, again.Cached, again.Key, tc.key)
+		}
+		if rep := h.Header.Get("X-RCM-Replica"); rep != tc.replica {
+			t.Errorf("repeat %q landed on %s, first on %s", tc.query, rep, tc.replica)
+		}
+	}
+
+	// Fleet aggregate: one amd job and one rcm job, fleet-wide.
+	agg := f.proxy.FleetStats(2 * time.Second).Aggregate
+	if agg.Orderings["amd"] != 1 || agg.Orderings["rcm"] != 1 {
+		t.Errorf("aggregate per-family counters = %v, want amd:1 rcm:1", agg.Orderings)
+	}
+}
+
 // TestFleetHitRatioParity replays the same two-pass workload against a
 // single replica and against a 3-replica fleet: because routing is
 // key-sharded, the fleet's aggregate hit ratio must match the single

@@ -9,7 +9,7 @@ func keys(n int) []string {
 	out := make([]string, n)
 	for i := range out {
 		// Shaped like real cache keys: hex digest | options fingerprint.
-		out[i] = fmt.Sprintf("%064x|rcmopt/2 backend=sequential start=%d", i*2654435761, i)
+		out[i] = fmt.Sprintf("%064x|rcmopt/3 ord=rcm backend=sequential start=%d", i*2654435761, i)
 	}
 	return out
 }
@@ -29,8 +29,8 @@ func TestRingDeterministic(t *testing.T) {
 		keys(8)[3]: "d",
 		keys(8)[4]: "d",
 		keys(8)[5]: "c",
-		keys(8)[6]: "c",
-		keys(8)[7]: "d",
+		keys(8)[6]: "d",
+		keys(8)[7]: "b",
 	}
 	for k, want := range golden {
 		if got := r.Pick(k); got != want {

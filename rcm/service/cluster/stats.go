@@ -145,6 +145,12 @@ func mergeStats(agg *service.Stats, st *service.Stats) {
 	agg.Bytes += st.Bytes
 	agg.CapacityBytes += st.CapacityBytes
 	agg.Workers += st.Workers
+	for _, o := range detmap.Keys(st.Orderings) {
+		if agg.Orderings == nil {
+			agg.Orderings = make(map[string]uint64)
+		}
+		agg.Orderings[o] += st.Orderings[o]
+	}
 	for _, backend := range detmap.Keys(st.Latency) {
 		if agg.Latency == nil {
 			agg.Latency = make(map[string]service.LatencyStats)

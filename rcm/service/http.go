@@ -28,11 +28,12 @@ const (
 // NewHandler exposes a Service over HTTP:
 //
 //	POST /v1/order       order the matrix in the request body; options come
-//	                     from the URL query (backend, procs, threads, sort,
-//	                     heuristic, direction, diralpha, dirbeta,
-//	                     widthweight, heightweight, start, seed, hypersparse,
-//	                     noreverse, nosymmetrize, compsched, compthreshold;
-//	                     perm=0 omits the permutation from the response).
+//	                     from the URL query (ordering, backend, procs,
+//	                     threads, sort, heuristic, direction, diralpha,
+//	                     dirbeta, widthweight, heightweight, start, seed,
+//	                     hypersparse, noreverse, nosymmetrize, compsched,
+//	                     compthreshold; perm=0 omits the permutation from
+//	                     the response).
 //	                     Body formats: Matrix Market text or RCMB binary,
 //	                     selected by Content-Type.
 //	POST /v1/components  connected components of the matrix in the request
@@ -296,6 +297,8 @@ func specFromQuery(q url.Values) (sp Spec, includePerm bool, err error) {
 		vals := q[key]
 		val := vals[len(vals)-1]
 		switch key {
+		case "ordering":
+			sp.Ordering = val
 		case "backend":
 			sp.Backend = val
 		case "sort":
@@ -384,6 +387,13 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	gauge("cache_capacity_bytes", "cache byte budget", st.CapacityBytes)
 	gauge("workers", "worker pool size", st.Workers)
 
+	if len(st.Orderings) > 0 {
+		fmt.Fprintf(w, "# HELP rcm_service_orderings_total orderings executed per family\n")
+		fmt.Fprintf(w, "# TYPE rcm_service_orderings_total counter\n")
+		for _, o := range detmap.Keys(st.Orderings) {
+			fmt.Fprintf(w, "rcm_service_orderings_total{ordering=%q} %d\n", o, st.Orderings[o])
+		}
+	}
 	if len(st.Latency) > 0 {
 		fmt.Fprintf(w, "# HELP rcm_service_latency_seconds wall-clock ordering latency per backend\n")
 		fmt.Fprintf(w, "# TYPE rcm_service_latency_seconds histogram\n")

@@ -62,6 +62,9 @@ func postMatrix(t *testing.T, client *http.Client, base string, p pair, binary b
 func specQuery(sp service.Spec) string {
 	var parts []string
 	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if sp.Ordering != "" {
+		add("ordering", sp.Ordering)
+	}
 	if sp.Backend != "" {
 		add("backend", sp.Backend)
 	}
@@ -163,6 +166,59 @@ func TestHTTPContentAddressing(t *testing.T) {
 	}
 	if !second.Cached {
 		t.Error("binary re-upload of the same pattern was not a cache hit")
+	}
+}
+
+// TestHTTPOrderingFamilies: ?ordering=amd runs the AMD family end to end
+// over HTTP, its cache key is sharded away from the RCM key for the same
+// matrix bytes (the fingerprint's ord= term), a repeat is a cache hit on
+// the AMD entry, and the per-family job counters tick.
+func TestHTTPOrderingFamilies(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	a, _ := rcm.Scramble(rcm.Grid2D(13, 13), 5)
+	rcmResp := postMatrix(t, ts.Client(), ts.URL, pair{"rcm", a, service.Spec{}}, false)
+	amdResp := postMatrix(t, ts.Client(), ts.URL, pair{"amd", a, service.Spec{Ordering: "amd"}}, true)
+	if amdResp.Ordering != "amd" || rcmResp.Ordering != "rcm" {
+		t.Fatalf("response orderings: rcm=%q amd=%q", rcmResp.Ordering, amdResp.Ordering)
+	}
+	if amdResp.Key == rcmResp.Key {
+		t.Fatalf("AMD and RCM share cache key %q — the ord= term is not sharding", amdResp.Key)
+	}
+	digest := strings.SplitN(rcmResp.Key, "|", 2)[0]
+	if !strings.HasPrefix(amdResp.Key, digest+"|") {
+		t.Fatalf("families disagree on the matrix digest: %q vs %q", rcmResp.Key, amdResp.Key)
+	}
+	if reflect.DeepEqual(amdResp.Perm, rcmResp.Perm) {
+		t.Fatal("AMD returned the RCM permutation on a scrambled grid")
+	}
+
+	// The repeat rides the AMD entry, not the RCM one.
+	again := postMatrix(t, ts.Client(), ts.URL, pair{"amd-again", a, service.Spec{Ordering: "amd"}}, false)
+	if !again.Cached || again.Key != amdResp.Key {
+		t.Fatalf("AMD repeat: cached=%v key=%q, want hit on %q", again.Cached, again.Key, amdResp.Key)
+	}
+	if !reflect.DeepEqual(again.Perm, amdResp.Perm) {
+		t.Fatal("cached AMD permutation differs from the computed one")
+	}
+
+	st := svc.Stats()
+	if st.Orderings["amd"] != 1 || st.Orderings["rcm"] != 1 {
+		t.Errorf("per-family job counters = %v, want amd:1 rcm:1", st.Orderings)
+	}
+
+	// The family shows up in the Prometheus export too.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(metrics), `rcm_service_orderings_total{ordering="amd"} 1`) {
+		t.Error("metrics export missing the amd ordering counter")
 	}
 }
 

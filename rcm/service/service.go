@@ -79,10 +79,12 @@ type Response struct {
 	// N and NNZ describe the ordered matrix.
 	N   int `json:"n"`
 	NNZ int `json:"nnz"`
-	// Backend, Procs and Threads record the configuration that ran.
-	Backend string `json:"backend"`
-	Procs   int    `json:"procs"`
-	Threads int    `json:"threads"`
+	// Ordering is the family that ran (rcm|amd|sloan); Backend, Procs and
+	// Threads record the configuration.
+	Ordering string `json:"ordering"`
+	Backend  string `json:"backend"`
+	Procs    int    `json:"procs"`
+	Threads  int    `json:"threads"`
 	// Components and PseudoDiameter mirror rcm.Result.
 	Components     int `json:"components"`
 	PseudoDiameter int `json:"pseudoDiameter"`
@@ -123,6 +125,9 @@ type Stats struct {
 	CapacityBytes int64 `json:"capacityBytes"`
 	// Workers echoes the pool size.
 	Workers int `json:"workers"`
+	// Orderings counts executed jobs per ordering family (rcm|amd|sloan)
+	// — computed ones; cache hits and dedups add nothing, matching Jobs.
+	Orderings map[string]uint64 `json:"orderings,omitempty"`
 	// Latency holds one wall-clock histogram per backend that executed
 	// at least one job.
 	Latency map[string]LatencyStats `json:"latency,omitempty"`
@@ -189,17 +194,18 @@ type Service struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
-	mu      sync.Mutex
-	closed  bool
-	cache   *lruCache
-	flights map[string]*flight
-	comps   map[string]*compFlight
-	hits    uint64
-	misses  uint64
-	dedups  uint64
-	jobsRun uint64
-	latency map[string]*latencyHist
-	modeled map[string]*phaseAgg // phase name -> cumulative modelled seconds
+	mu        sync.Mutex
+	closed    bool
+	cache     *lruCache
+	flights   map[string]*flight
+	comps     map[string]*compFlight
+	hits      uint64
+	misses    uint64
+	dedups    uint64
+	jobsRun   uint64
+	latency   map[string]*latencyHist
+	modeled   map[string]*phaseAgg // phase name -> cumulative modelled seconds
+	orderings map[string]uint64    // ordering family -> executed job count
 }
 
 type phaseAgg struct{ comp, comm float64 }
@@ -220,14 +226,15 @@ func New(cfg Config) *Service {
 		cfg.MaxUploadBytes = 1 << 30
 	}
 	s := &Service{
-		cfg:     cfg,
-		jobs:    make(chan *job, cfg.QueueDepth),
-		quit:    make(chan struct{}),
-		cache:   newLRUCache(cfg.CacheBytes),
-		flights: make(map[string]*flight),
-		comps:   make(map[string]*compFlight),
-		latency: make(map[string]*latencyHist),
-		modeled: make(map[string]*phaseAgg),
+		cfg:       cfg,
+		jobs:      make(chan *job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		cache:     newLRUCache(cfg.CacheBytes),
+		flights:   make(map[string]*flight),
+		comps:     make(map[string]*compFlight),
+		latency:   make(map[string]*latencyHist),
+		modeled:   make(map[string]*phaseAgg),
+		orderings: make(map[string]uint64),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -364,6 +371,7 @@ func (s *Service) run(j *job) {
 			Key:            j.key,
 			N:              j.a.N(),
 			NNZ:            j.a.NNZ(),
+			Ordering:       res.Ordering.String(),
 			Backend:        res.Backend.String(),
 			Procs:          res.Procs,
 			Threads:        res.Threads,
@@ -380,6 +388,7 @@ func (s *Service) run(j *job) {
 	s.jobsRun++
 	if err == nil {
 		s.cache.put(j.key, resp, responseBytes(resp))
+		s.orderings[resp.Ordering]++
 		h := s.latency[resp.Backend]
 		if h == nil {
 			h = &latencyHist{}
@@ -419,6 +428,12 @@ func (s *Service) Stats() Stats {
 		Bytes:         s.cache.bytes,
 		CapacityBytes: s.cache.capacity,
 		Workers:       s.cfg.Workers,
+	}
+	if len(s.orderings) > 0 {
+		st.Orderings = make(map[string]uint64, len(s.orderings))
+		for _, o := range detmap.Keys(s.orderings) {
+			st.Orderings[o] = s.orderings[o]
+		}
 	}
 	if len(s.latency) > 0 {
 		st.Latency = make(map[string]LatencyStats, len(s.latency))

@@ -10,6 +10,10 @@ import (
 // then the rcm package defaults). The canonical names are the ones the
 // rcm.Parse* functions accept.
 type Spec struct {
+	// Ordering selects the ordering family: rcm|amd|sloan. Empty means rcm.
+	// The family shards the cache: the fingerprint's ord= term keeps an AMD
+	// result and an RCM result for one digest as independent entries.
+	Ordering string `json:"ordering,omitempty"`
 	// Backend selects the implementation:
 	// sequential|algebraic|shared|distributed.
 	Backend string `json:"backend,omitempty"`
@@ -68,6 +72,13 @@ func Bool(v bool) *bool { return &v }
 // layer, which sees the matrix.
 func (sp Spec) Options() ([]rcm.Option, error) {
 	var opts []rcm.Option
+	if sp.Ordering != "" {
+		o, err := rcm.ParseOrdering(sp.Ordering)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, rcm.WithOrdering(o))
+	}
 	if sp.Backend != "" {
 		b, err := rcm.ParseBackend(sp.Backend)
 		if err != nil {
@@ -139,6 +150,9 @@ func (base Spec) Overlay(req Spec) Spec { return base.overlay(req) }
 // DefaultSpec), so per-request options always win over server defaults.
 func (base Spec) overlay(req Spec) Spec {
 	out := req
+	if out.Ordering == "" {
+		out.Ordering = base.Ordering
+	}
 	if out.Backend == "" {
 		out.Backend = base.Backend
 	}
